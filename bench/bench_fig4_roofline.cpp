@@ -1,0 +1,84 @@
+/// Reproduces **Fig. 4** of the paper: roofline model analysis for the
+/// Predictive-RP kernel compared against the Two-Phase-RP and
+/// Heuristic-RP kernels on the (modeled) NVIDIA Tesla K40 — the roofline
+/// curve (measured-bandwidth roof and theoretical-peak roof) plus each
+/// kernel's operating point (arithmetic intensity, achieved GFlop/s).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "simt/roofline.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bd;
+  using bench::measure_solver;
+
+  util::ArgParser args("bench_fig4_roofline",
+                       "Fig. 4: roofline analysis of the three kernels");
+  args.add_int("particles", 100000, "macro-particles");
+  args.add_int("grid", 64, "grid resolution (paper plots the K40 kernels)");
+  args.add_int("warmup", 1, "warm-up steps");
+  args.add_int("measure", 2, "measured steps");
+  args.add_double("tolerance", 1e-6, "rp-integral tolerance τ");
+  args.add_flag("full", "use the 128x128 grid");
+  args.add_string("csv", "fig4.csv", "CSV output path");
+  if (!args.parse(argc, argv)) return 0;
+
+  const simt::DeviceSpec device = simt::tesla_k40();
+  const std::uint32_t grid = args.get_flag("full")
+                                 ? 128u
+                                 : static_cast<std::uint32_t>(
+                                       args.get_int("grid"));
+
+  std::printf("Fig. 4 — roofline, %s (peak %.0f GF/s, measured BW %.0f GB/s, "
+              "ridge AI %.2f)\n\n",
+              device.name.c_str(), device.peak_dp_gflops,
+              device.measured_bw_gbs, device.ridge_ai());
+
+  // The roofline curves.
+  std::printf("roofline samples (AI, measured-BW roof, theoretical roof):\n");
+  for (const auto& sample : simt::sample_roofline(device, 0.125, 64.0, 10)) {
+    std::printf("  AI %8.3f  ->  %8.1f GF/s  (theoretical %8.1f)\n",
+                sample.ai, sample.roof_measured, sample.roof_theoretical);
+  }
+
+  util::ConsoleTable table({"kernel", "AI (F/B)", "GFlop/s",
+                            "attainable GF/s", "% of roof"});
+  util::CsvWriter csv(args.get_string("csv"));
+  csv.header({"kernel", "ai", "gflops", "attainable", "roof_fraction"});
+
+  for (const char* kind : {"two-phase", "heuristic", "predictive"}) {
+    const auto m = measure_solver(
+        kind,
+        bench::bench_config(grid,
+                            static_cast<std::size_t>(
+                                args.get_int("particles")),
+                            args.get_double("tolerance"), /*rigid=*/false),
+        static_cast<std::size_t>(args.get_int("warmup")),
+        static_cast<std::size_t>(args.get_int("measure")));
+    const simt::RooflinePoint point =
+        simt::make_point(kind, m.metrics, device);
+    table.cell(kind)
+        .cell(point.arithmetic_intensity, 2)
+        .cell(point.gflops, 0)
+        .cell(point.attainable_gflops, 0)
+        .cell(point.roof_fraction * 100.0, 1);
+    table.end_row();
+    csv.cell(kind)
+        .cell(point.arithmetic_intensity)
+        .cell(point.gflops)
+        .cell(point.attainable_gflops)
+        .cell(point.roof_fraction);
+    csv.end_row();
+  }
+  std::printf("\nkernel operating points (%ux%u grid):\n", grid, grid);
+  table.print();
+  csv.close();
+  std::printf(
+      "\npaper shape: Predictive-RP sits highest (both AI and GFlop/s),\n"
+      "Heuristic-RP in the middle, Two-Phase-RP lowest.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// \file forecast_demo.cpp
+/// Shows the online learning loop at work: runs an *evolving* beam, and at
+/// each step reports how well the kNN predictor forecast the access
+/// patterns the kernel then actually observed (the paper's §III-B one-step
+/// -ahead forecasting), plus the work saved relative to re-running full
+/// adaptive quadrature.
+
+#include <cstdio>
+
+#include "core/predictive.hpp"
+#include "core/simulation.hpp"
+#include "ml/metrics.hpp"
+#include "simt/device.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bd;
+
+  util::ArgParser args("forecast_demo",
+                       "online access-pattern forecasting quality");
+  args.add_int("particles", 50000, "macro-particles");
+  args.add_int("grid", 48, "grid resolution");
+  args.add_int("steps", 6, "simulation steps");
+  args.add_string("predictor", "knn", "knn | ridge");
+  if (!args.parse(argc, argv)) return 0;
+
+  core::SimConfig config;
+  config.particles = static_cast<std::size_t>(args.get_int("particles"));
+  config.nx = static_cast<std::uint32_t>(args.get_int("grid"));
+  config.ny = config.nx;
+  config.rigid = false;  // patterns drift: forecasting has work to do
+  config.dt = 0.5;
+  config.longitudinal.amplitude = 0.4;
+
+  core::PredictiveOptions options;
+  if (args.get_string("predictor") == "ridge") {
+    options.predictor = ml::PredictorKind::kRidge;
+  }
+  auto solver = std::make_unique<core::PredictiveSolver>(simt::tesla_k40(),
+                                                         options);
+  core::PredictiveSolver* solver_ptr = solver.get();
+  core::Simulation sim(config, std::move(solver));
+  sim.initialize();
+
+  util::ConsoleTable table({"step", "forecast R2", "forecast MAE",
+                            "kernel intervals", "fallback items",
+                            "fallback %", "train ms"});
+  for (int k = 0; k < args.get_int("steps"); ++k) {
+    // Forecast for the upcoming step (if the model is trained), then run
+    // the step and compare with what was actually observed.
+    core::PatternField forecast;
+    const bool had_model = solver_ptr->trained();
+    sim.particles();  // (no-op; readability)
+    if (had_model) {
+      // Problem for the upcoming step: step index advances inside step(),
+      // so forecast with step+1.
+      core::RpProblem next = sim.make_problem(sim.config().longitudinal);
+      next.step = sim.current_step() + 1;
+      forecast = solver_ptr->forecast(next);
+    }
+    const core::StepStats stats = sim.step();
+    const core::SolveResult& r = stats.longitudinal;
+
+    double r2 = 0.0, mae_v = 0.0;
+    if (had_model) {
+      std::vector<double> predicted(forecast.flat().begin(),
+                                    forecast.flat().end());
+      std::vector<double> observed(r.observed.flat().begin(),
+                                   r.observed.flat().end());
+      r2 = ml::r2_score(predicted, observed);
+      mae_v = ml::mae(predicted, observed);
+    }
+    table.cell(static_cast<std::int64_t>(stats.step))
+        .cell(had_model ? util::format_double(r2, 3) : "(bootstrap)")
+        .cell(had_model ? util::format_double(mae_v, 3) : "-")
+        .cell(static_cast<std::int64_t>(r.kernel_intervals))
+        .cell(static_cast<std::int64_t>(r.fallback_items))
+        .cell(100.0 * static_cast<double>(r.fallback_items) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, r.kernel_intervals)),
+              2)
+        .cell(r.train_seconds * 1e3, 2);
+    table.end_row();
+  }
+  std::printf("online forecasting on an evolving beam (%s predictor)\n",
+              args.get_string("predictor").c_str());
+  table.print();
+  std::printf(
+      "\nforecast R2 near 1 and a small fallback fraction mean the learned\n"
+      "model anticipates the kernel's control flow and data accesses.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// \file solver_comparison.cpp
+/// Side-by-side run of the three rp-solvers the paper compares — Two-Phase
+/// [9], Heuristic [10] and Predictive (the contribution) — on an identical
+/// evolving-beam workload, printing the profiler-style metrics of Table I
+/// per step.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/heuristic.hpp"
+#include "baselines/two_phase.hpp"
+#include "core/predictive.hpp"
+#include "core/simulation.hpp"
+#include "simt/device.hpp"
+#include "simt/report.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::unique_ptr<bd::core::RpSolver> make_solver(const std::string& kind) {
+  using namespace bd;
+  const simt::DeviceSpec device = simt::tesla_k40();
+  if (kind == "two-phase") {
+    return std::make_unique<baselines::TwoPhaseSolver>(device);
+  }
+  if (kind == "heuristic") {
+    return std::make_unique<baselines::HeuristicSolver>(device);
+  }
+  return std::make_unique<bd::core::PredictiveSolver>(device);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bd;
+
+  util::ArgParser args("solver_comparison",
+                       "Two-Phase vs Heuristic vs Predictive rp-solvers");
+  args.add_int("particles", 50000, "number of macro-particles");
+  args.add_int("grid", 64, "grid resolution (N_X = N_Y)");
+  args.add_int("steps", 4, "simulation steps per solver");
+  args.add_double("tolerance", 1e-6, "rp-integral error tolerance");
+  args.add_flag("rigid", "freeze the bunch (validation workload)");
+  if (!args.parse(argc, argv)) return 0;
+
+  util::ConsoleTable table(
+      {"solver", "step", "intervals", "fallback", "warp eff %", "gld eff %",
+       "L1 hit %", "AI", "GFlop/s", "GPU time (ms)", "overall (ms)"});
+  std::vector<simt::KernelReportEntry> final_step;
+
+  for (const std::string kind : {"two-phase", "heuristic", "predictive"}) {
+    core::SimConfig config;
+    config.particles = static_cast<std::size_t>(args.get_int("particles"));
+    config.nx = static_cast<std::uint32_t>(args.get_int("grid"));
+    config.ny = config.nx;
+    config.tolerance = args.get_double("tolerance");
+    config.rigid = args.get_flag("rigid");
+
+    core::Simulation sim(config, make_solver(kind));
+    sim.initialize();
+    for (int k = 0; k < args.get_int("steps"); ++k) {
+      const core::StepStats stats = sim.step();
+      const core::SolveResult& r = stats.longitudinal;
+      const auto& m = r.metrics;
+      if (k + 1 == args.get_int("steps")) {
+        final_step.push_back(simt::KernelReportEntry{kind, m});
+      }
+      table.cell(kind)
+          .cell(static_cast<std::int64_t>(stats.step))
+          .cell(static_cast<std::int64_t>(r.kernel_intervals))
+          .cell(static_cast<std::int64_t>(r.fallback_items))
+          .cell(m.warp_execution_efficiency() * 100.0, 1)
+          .cell(m.global_load_efficiency() * 100.0, 1)
+          .cell(m.l1_hit_rate() * 100.0, 1)
+          .cell(m.arithmetic_intensity(), 2)
+          .cell(m.gflops(), 0)
+          .cell(r.gpu_seconds * 1e3, 3)
+          .cell(r.overall_seconds() * 1e3, 3);
+      table.end_row();
+    }
+  }
+  table.print();
+
+  std::printf("\nprofiler view of the final step:\n");
+  std::fputs(
+      simt::comparison_report(final_step, simt::tesla_k40()).c_str(),
+      stdout);
+  return 0;
+}

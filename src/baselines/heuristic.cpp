@@ -1,0 +1,102 @@
+#include "baselines/heuristic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/forecast.hpp"
+#include "core/rp_kernels.hpp"
+#include "quad/partition.hpp"
+#include "util/timer.hpp"
+
+namespace bd::baselines {
+
+core::SolveResult HeuristicSolver::solve(const core::RpProblem& problem) {
+  util::WallTimer wall;
+  const std::size_t num_points = problem.num_points();
+  const bool bootstrap = previous_partitions_.size() != num_points;
+
+  // Heuristic 1: start from last step's partitions.
+  util::WallTimer forecast_timer;
+  std::vector<std::vector<double>> point_partitions;
+  if (bootstrap) {
+    const std::vector<double> coarse = core::pattern_to_partition(
+        std::vector<double>(problem.num_subregions, 1.0), problem.sub_width,
+        problem.r_max(), /*headroom=*/1.0);
+    point_partitions.assign(num_points, coarse);
+  } else {
+    point_partitions = previous_partitions_;
+  }
+  const double forecast_seconds = forecast_timer.seconds();
+
+  // Heuristic 2: coarse workload buckets (log2 of the partition size),
+  // row-major within each bucket.
+  util::WallTimer cluster_timer;
+  core::ClusterAssignment blocks;
+  if (bootstrap || !options_.workload_sort) {
+    blocks = core::chunk_clustering(num_points, options_.block_size);
+  } else {
+    std::vector<std::uint32_t> order(num_points);
+    std::iota(order.begin(), order.end(), 0u);
+    std::vector<std::uint32_t> bucket(num_points);
+    for (std::size_t p = 0; p < num_points; ++p) {
+      const double w = static_cast<double>(point_partitions[p].size());
+      bucket[p] = static_cast<std::uint32_t>(std::lround(std::log2(w)));
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return bucket[a] > bucket[b];
+                     });
+    blocks = core::ordered_clustering(order, options_.block_size);
+  }
+  const double clustering_seconds = cluster_timer.seconds();
+
+  core::RpKernelInput input;
+  input.problem = &problem;
+  input.clusters = &blocks;
+  input.source = core::PartitionSource::kPerPoint;
+  input.point_partitions = &point_partitions;
+
+  core::RpKernelOutput kernel1 = core::run_compute_rp_integral(device_, input);
+
+  // Remember the failed intervals before the fallback consumes them: the
+  // refinements they generate are folded into the stored partitions.
+  const std::vector<core::FailedInterval> failed = kernel1.failed;
+  const core::FallbackOutput kernel2 = core::run_adaptive_fallback(
+      device_, problem, kernel1.failed, kernel1.integral, kernel1.error,
+      kernel1.contributions);
+
+  // Update stored partitions: refinement only (no coarsening) — the
+  // partition a point keeps is what it used, subdivided wherever the
+  // tolerance was missed, into as many pieces as the fallback's adaptive
+  // pass actually generated there.
+  previous_partitions_ = std::move(point_partitions);
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    const core::FailedInterval& item = failed[i];
+    auto& partition = previous_partitions_[item.point];
+    const std::uint32_t pieces =
+        std::max<std::uint32_t>(2, kernel2.intervals_per_item[i]);
+    std::vector<double> refined;
+    refined.reserve(pieces + 1);
+    for (std::uint32_t piece = 0; piece <= pieces; ++piece) {
+      refined.push_back(
+          item.a + (item.b - item.a) * static_cast<double>(piece) / pieces);
+    }
+    partition = quad::merge_partitions(partition, refined);
+  }
+
+  simt::KernelMetrics metrics = kernel1.metrics;
+  metrics += kernel2.metrics;
+
+  core::SolveResult result = core::detail::make_result(
+      problem, std::move(kernel1.integral), std::move(kernel1.error),
+      std::move(kernel1.contributions), std::move(metrics));
+  result.fallback_items = failed.size();
+  result.kernel_intervals = kernel1.intervals;
+  result.clustering_seconds = clustering_seconds;
+  result.forecast_seconds = forecast_seconds;
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace bd::baselines

@@ -1,0 +1,48 @@
+#include "baselines/two_phase.hpp"
+
+#include "core/forecast.hpp"
+#include "core/rp_kernels.hpp"
+#include "util/timer.hpp"
+
+namespace bd::baselines {
+
+core::SolveResult TwoPhaseSolver::solve(const core::RpProblem& problem) {
+  util::WallTimer wall;
+
+  // Phase 1: fixed first-level partition — one interval per subregion,
+  // identical for every grid point.
+  const std::vector<double> coarse = core::pattern_to_partition(
+      std::vector<double>(problem.num_subregions, 1.0), problem.sub_width,
+      problem.r_max(), /*headroom=*/1.0);
+  std::vector<std::vector<double>> point_partitions(problem.num_points(),
+                                                    coarse);
+
+  const core::ClusterAssignment blocks =
+      core::chunk_clustering(problem.num_points(), options_.block_size);
+
+  core::RpKernelInput input;
+  input.problem = &problem;
+  input.clusters = &blocks;
+  input.source = core::PartitionSource::kPerPoint;
+  input.point_partitions = &point_partitions;
+
+  core::RpKernelOutput phase1 = core::run_compute_rp_integral(device_, input);
+
+  // Phase 2: globally adaptive pass over every non-converged interval.
+  const core::FallbackOutput phase2 = core::run_adaptive_fallback(
+      device_, problem, phase1.failed, phase1.integral, phase1.error,
+      phase1.contributions);
+
+  simt::KernelMetrics metrics = phase1.metrics;
+  metrics += phase2.metrics;
+
+  core::SolveResult result = core::detail::make_result(
+      problem, std::move(phase1.integral), std::move(phase1.error),
+      std::move(phase1.contributions), std::move(metrics));
+  result.fallback_items = phase1.failed.size();
+  result.kernel_intervals = phase1.intervals;
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace bd::baselines

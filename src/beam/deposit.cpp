@@ -1,0 +1,116 @@
+#include "beam/deposit.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bd::beam {
+
+namespace {
+
+/// Deposit one particle with TSC weights; returns dropped charge.
+inline double deposit_tsc(Grid2D& rho, const GridSpec& spec, double x,
+                          double y, double value) {
+  const double gx = spec.gx(x);
+  const double gy = spec.gy(y);
+  const auto ix = static_cast<std::int64_t>(std::lround(gx));
+  const auto iy = static_cast<std::int64_t>(std::lround(gy));
+  if (ix < 1 || iy < 1 || ix > spec.nx - 2 || iy > spec.ny - 2) return value;
+  double wx[3], wy[3];
+  tsc_weights(gx - static_cast<double>(ix), wx);
+  tsc_weights(gy - static_cast<double>(iy), wy);
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      rho.at(static_cast<std::uint32_t>(ix + dx),
+             static_cast<std::uint32_t>(iy + dy)) +=
+          value * wx[dx + 1] * wy[dy + 1];
+    }
+  }
+  return 0.0;
+}
+
+inline double deposit_cic(Grid2D& rho, const GridSpec& spec, double x,
+                          double y, double value) {
+  const double gx = spec.gx(x);
+  const double gy = spec.gy(y);
+  if (gx < 0.0 || gy < 0.0 || gx > spec.nx - 1 || gy > spec.ny - 1) {
+    return value;
+  }
+  const auto ix = static_cast<std::uint32_t>(
+      std::min<double>(gx, spec.nx - 2));
+  const auto iy = static_cast<std::uint32_t>(
+      std::min<double>(gy, spec.ny - 2));
+  const double fx = gx - ix;
+  const double fy = gy - iy;
+  rho.at(ix, iy) += value * (1 - fx) * (1 - fy);
+  rho.at(ix + 1, iy) += value * fx * (1 - fy);
+  rho.at(ix, iy + 1) += value * (1 - fx) * fy;
+  rho.at(ix + 1, iy + 1) += value * fx * fy;
+  return 0.0;
+}
+
+inline double deposit_ngp(Grid2D& rho, const GridSpec& spec, double x,
+                          double y, double value) {
+  const auto ix = static_cast<std::int64_t>(std::lround(spec.gx(x)));
+  const auto iy = static_cast<std::int64_t>(std::lround(spec.gy(y)));
+  if (ix < 0 || iy < 0 || ix > spec.nx - 1 || iy > spec.ny - 1) return value;
+  rho.at(static_cast<std::uint32_t>(ix), static_cast<std::uint32_t>(iy)) +=
+      value;
+  return 0.0;
+}
+
+}  // namespace
+
+double deposit(const ParticleSet& particles, DepositScheme scheme,
+               Grid2D& rho) {
+  const GridSpec& spec = rho.spec();
+  BD_CHECK(spec.nodes() > 0);
+  const double density = particles.weight() / (spec.dx * spec.dy);
+  const auto s = particles.s();
+  const auto y = particles.y();
+  double dropped = 0.0;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    switch (scheme) {
+      case DepositScheme::kNGP:
+        dropped += deposit_ngp(rho, spec, s[i], y[i], density);
+        break;
+      case DepositScheme::kCIC:
+        dropped += deposit_cic(rho, spec, s[i], y[i], density);
+        break;
+      case DepositScheme::kTSC:
+        dropped += deposit_tsc(rho, spec, s[i], y[i], density);
+        break;
+    }
+  }
+  return dropped;
+}
+
+void longitudinal_gradient(const Grid2D& rho, Grid2D& out) {
+  const GridSpec& spec = rho.spec();
+  BD_CHECK(out.spec() == spec);
+  const double inv2dx = 1.0 / (2.0 * spec.dx);
+  for (std::uint32_t iy = 0; iy < spec.ny; ++iy) {
+    out.at(0, iy) = (rho.at(1, iy) - rho.at(0, iy)) * 2.0 * inv2dx;
+    for (std::uint32_t ix = 1; ix + 1 < spec.nx; ++ix) {
+      out.at(ix, iy) = (rho.at(ix + 1, iy) - rho.at(ix - 1, iy)) * inv2dx;
+    }
+    out.at(spec.nx - 1, iy) =
+        (rho.at(spec.nx - 1, iy) - rho.at(spec.nx - 2, iy)) * 2.0 * inv2dx;
+  }
+}
+
+void transverse_gradient(const Grid2D& rho, Grid2D& out) {
+  const GridSpec& spec = rho.spec();
+  BD_CHECK(out.spec() == spec);
+  const double inv2dy = 1.0 / (2.0 * spec.dy);
+  for (std::uint32_t ix = 0; ix < spec.nx; ++ix) {
+    out.at(ix, 0) = (rho.at(ix, 1) - rho.at(ix, 0)) * 2.0 * inv2dy;
+    for (std::uint32_t iy = 1; iy + 1 < spec.ny; ++iy) {
+      out.at(ix, iy) = (rho.at(ix, iy + 1) - rho.at(ix, iy - 1)) * inv2dy;
+    }
+    out.at(ix, spec.ny - 1) =
+        (rho.at(ix, spec.ny - 1) - rho.at(ix, spec.ny - 2)) * 2.0 * inv2dy;
+  }
+}
+
+}  // namespace bd::beam

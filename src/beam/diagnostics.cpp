@@ -1,0 +1,109 @@
+#include "beam/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bd::beam {
+
+namespace {
+PlaneMoments plane_moments(std::span<const double> x,
+                           std::span<const double> p) {
+  PlaneMoments m;
+  const std::size_t n = x.size();
+  if (n == 0) return m;
+  for (std::size_t i = 0; i < n; ++i) {
+    m.mean_position += x[i];
+    m.mean_momentum += p[i];
+  }
+  m.mean_position /= static_cast<double>(n);
+  m.mean_momentum /= static_cast<double>(n);
+  double xx = 0.0, pp = 0.0, xp = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - m.mean_position;
+    const double dp = p[i] - m.mean_momentum;
+    xx += dx * dx;
+    pp += dp * dp;
+    xp += dx * dp;
+  }
+  xx /= static_cast<double>(n);
+  pp /= static_cast<double>(n);
+  xp /= static_cast<double>(n);
+  m.sigma_position = std::sqrt(xx);
+  m.sigma_momentum = std::sqrt(pp);
+  m.correlation = xp;
+  const double det = xx * pp - xp * xp;
+  m.emittance = det > 0.0 ? std::sqrt(det) : 0.0;
+  return m;
+}
+}  // namespace
+
+PlaneMoments longitudinal_moments(const ParticleSet& particles) {
+  return plane_moments(particles.s(), particles.ps());
+}
+
+PlaneMoments transverse_moments(const ParticleSet& particles) {
+  return plane_moments(particles.y(), particles.py());
+}
+
+std::vector<double> line_density(const ParticleSet& particles, double lo,
+                                 double hi, std::size_t bins) {
+  BD_CHECK(hi > lo && bins > 0);
+  std::vector<double> density(bins, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  const double per_particle = particles.weight() / width;
+  for (double s : particles.s()) {
+    if (s < lo || s >= hi) continue;
+    const auto bin = static_cast<std::size_t>((s - lo) / width);
+    density[std::min(bin, bins - 1)] += per_particle;
+  }
+  return density;
+}
+
+std::vector<double> project_longitudinal(const Grid2D& grid) {
+  const GridSpec& spec = grid.spec();
+  std::vector<double> out(spec.nx, 0.0);
+  for (std::uint32_t iy = 0; iy < spec.ny; ++iy) {
+    for (std::uint32_t ix = 0; ix < spec.nx; ++ix) {
+      out[ix] += grid.at(ix, iy) * spec.dy;
+    }
+  }
+  return out;
+}
+
+std::vector<double> project_transverse(const Grid2D& grid) {
+  const GridSpec& spec = grid.spec();
+  std::vector<double> out(spec.ny, 0.0);
+  for (std::uint32_t iy = 0; iy < spec.ny; ++iy) {
+    for (std::uint32_t ix = 0; ix < spec.nx; ++ix) {
+      out[iy] += grid.at(ix, iy) * spec.dx;
+    }
+  }
+  return out;
+}
+
+double grid_charge(const Grid2D& rho) {
+  const GridSpec& spec = rho.spec();
+  return rho.sum() * spec.dx * spec.dy;
+}
+
+double fraction_in_interior(const ParticleSet& particles,
+                            const GridSpec& spec) {
+  if (particles.empty()) return 1.0;
+  const double x_lo = spec.x_at(1);
+  const double x_hi = spec.x_at(spec.nx - 2);
+  const double y_lo = spec.y_at(1);
+  const double y_hi = spec.y_at(spec.ny - 2);
+  std::size_t inside = 0;
+  const auto s = particles.s();
+  const auto y = particles.y();
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    if (s[i] >= x_lo && s[i] <= x_hi && y[i] >= y_lo && y[i] <= y_hi) {
+      ++inside;
+    }
+  }
+  return static_cast<double>(inside) / static_cast<double>(particles.size());
+}
+
+}  // namespace bd::beam

@@ -1,0 +1,52 @@
+#pragma once
+/// \file diagnostics.hpp
+/// Beam diagnostics: bunch moments, emittance, line-density projections
+/// and grid↔particle consistency measures — the quantities accelerator
+/// simulations report per step alongside the fields.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "beam/grid.hpp"
+#include "beam/particles.hpp"
+
+namespace bd::beam {
+
+/// Second-moment summary of a bunch in one plane.
+struct PlaneMoments {
+  double mean_position = 0.0;
+  double mean_momentum = 0.0;
+  double sigma_position = 0.0;   ///< rms size
+  double sigma_momentum = 0.0;   ///< rms momentum spread
+  double correlation = 0.0;      ///< <x·p> − <x><p>
+  /// rms emittance: sqrt(<x²><p²> − <x·p>²) with centered moments.
+  double emittance = 0.0;
+};
+
+/// Moments of the longitudinal (s, ps) plane.
+PlaneMoments longitudinal_moments(const ParticleSet& particles);
+
+/// Moments of the transverse (y, py) plane.
+PlaneMoments transverse_moments(const ParticleSet& particles);
+
+/// Histogram the longitudinal line density λ(s) onto `bins` equal bins
+/// over [lo, hi]; each entry is charge per unit length.
+std::vector<double> line_density(const ParticleSet& particles, double lo,
+                                 double hi, std::size_t bins);
+
+/// Project a 2-D grid onto its s axis: out[ix] = Σ_iy grid(ix,iy) · dy.
+std::vector<double> project_longitudinal(const Grid2D& grid);
+
+/// Project a 2-D grid onto its y axis: out[iy] = Σ_ix grid(ix,iy) · dx.
+std::vector<double> project_transverse(const Grid2D& grid);
+
+/// Total charge represented by a deposited density grid (∫ρ dA).
+double grid_charge(const Grid2D& rho);
+
+/// Fraction of particles inside the grid's interpolable interior
+/// (TSC needs one guard node on each side).
+double fraction_in_interior(const ParticleSet& particles,
+                            const GridSpec& spec);
+
+}  // namespace bd::beam

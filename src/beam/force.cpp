@@ -1,0 +1,44 @@
+#include "beam/force.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bd::beam {
+
+double interpolate_tsc(const Grid2D& field, double x, double y) {
+  const GridSpec& spec = field.spec();
+  const double gx = spec.gx(x);
+  const double gy = spec.gy(y);
+  const auto ix = static_cast<std::int64_t>(std::lround(gx));
+  const auto iy = static_cast<std::int64_t>(std::lround(gy));
+  if (ix < 1 || iy < 1 || ix > static_cast<std::int64_t>(spec.nx) - 2 ||
+      iy > static_cast<std::int64_t>(spec.ny) - 2) {
+    return 0.0;
+  }
+  double wx[3], wy[3];
+  tsc_weights(gx - static_cast<double>(ix), wx);
+  tsc_weights(gy - static_cast<double>(iy), wy);
+  double acc = 0.0;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      acc += wx[dx + 1] * wy[dy + 1] *
+             field.at(static_cast<std::uint32_t>(ix + dx),
+                      static_cast<std::uint32_t>(iy + dy));
+    }
+  }
+  return acc;
+}
+
+void gather_forces(const Grid2D& field, const ParticleSet& particles,
+                   std::span<double> out) {
+  BD_CHECK(out.size() == particles.size());
+  const auto s = particles.s();
+  const auto y = particles.y();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    out[i] = interpolate_tsc(field, s[i], y[i]);
+  }
+}
+
+}  // namespace bd::beam

@@ -1,0 +1,23 @@
+#pragma once
+/// \file force.hpp
+/// Step 3 of the simulation loop: interpolate self-forces from the
+/// computed force/potential grids back to the particles.
+
+#include <span>
+
+#include "beam/grid.hpp"
+#include "beam/particles.hpp"
+
+namespace bd::beam {
+
+/// Gather the grid field at each particle position with TSC (quadratic)
+/// interpolation, consistent with the deposition order. Particles outside
+/// the interpolable region receive 0.
+/// `out` must have particles.size() entries.
+void gather_forces(const Grid2D& field, const ParticleSet& particles,
+                   std::span<double> out);
+
+/// TSC interpolation of a grid at one physical point (0 outside).
+double interpolate_tsc(const Grid2D& field, double x, double y);
+
+}  // namespace bd::beam

@@ -1,0 +1,56 @@
+#include "beam/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bd::beam {
+
+GridSpec make_centered_grid(std::uint32_t nx, std::uint32_t ny,
+                            double half_extent_x, double half_extent_y) {
+  BD_CHECK(nx >= 2 && ny >= 2);
+  BD_CHECK(half_extent_x > 0.0 && half_extent_y > 0.0);
+  GridSpec spec;
+  spec.nx = nx;
+  spec.ny = ny;
+  spec.x0 = -half_extent_x;
+  spec.y0 = -half_extent_y;
+  spec.dx = 2.0 * half_extent_x / (nx - 1);
+  spec.dy = 2.0 * half_extent_y / (ny - 1);
+  return spec;
+}
+
+void Grid2D::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Grid2D::bilinear(double x, double y) const {
+  const double gx = spec_.gx(x);
+  const double gy = spec_.gy(y);
+  if (gx < 0.0 || gy < 0.0 || gx > spec_.nx - 1 || gy > spec_.ny - 1) {
+    return 0.0;
+  }
+  const auto ix = static_cast<std::uint32_t>(
+      std::min<double>(gx, spec_.nx - 2));
+  const auto iy = static_cast<std::uint32_t>(
+      std::min<double>(gy, spec_.ny - 2));
+  const double fx = gx - ix;
+  const double fy = gy - iy;
+  return (1 - fx) * (1 - fy) * at(ix, iy) + fx * (1 - fy) * at(ix + 1, iy) +
+         (1 - fx) * fy * at(ix, iy + 1) + fx * fy * at(ix + 1, iy + 1);
+}
+
+double Grid2D::sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Grid2D::max_abs() const {
+  double worst = 0.0;
+  for (double v : data_) worst = std::max(worst, std::abs(v));
+  return worst;
+}
+
+}  // namespace bd::beam

@@ -1,0 +1,81 @@
+#include "beam/history.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bd::beam {
+
+GridHistory::GridHistory(const GridSpec& spec, std::uint32_t depth)
+    : spec_(spec), depth_(depth), plane_nodes_(spec.nodes()) {
+  BD_CHECK(depth >= 1);
+  BD_CHECK(plane_nodes_ > 0);
+  buffer_.assign(static_cast<std::size_t>(depth_) * kNumChannels *
+                     plane_nodes_,
+                 0.0);
+}
+
+bool GridHistory::has_step(std::int64_t step) const {
+  return initialized_ && step <= latest_step_ &&
+         step > latest_step_ - static_cast<std::int64_t>(depth_);
+}
+
+std::size_t GridHistory::slot_offset(std::int64_t step,
+                                     MomentChannel channel) const {
+  BD_CHECK_MSG(has_step(step), "step " << step << " not retained (latest "
+                                       << latest_step_ << ", depth "
+                                       << depth_ << ")");
+  const auto slot = static_cast<std::size_t>(
+      ((step % depth_) + depth_) % depth_);
+  return (slot * kNumChannels + channel) * plane_nodes_;
+}
+
+void GridHistory::push_step(std::int64_t step, const Grid2D& rho,
+                            const Grid2D& drho_ds) {
+  BD_CHECK(rho.spec() == spec_ && drho_ds.spec() == spec_);
+  BD_CHECK_MSG(!initialized_ || step == latest_step_ + 1,
+               "steps must be pushed consecutively");
+  latest_step_ = step;
+  initialized_ = true;
+  std::copy(rho.data().begin(), rho.data().end(),
+            buffer_.begin() +
+                static_cast<std::ptrdiff_t>(slot_offset(step, kChannelRho)));
+  std::copy(
+      drho_ds.data().begin(), drho_ds.data().end(),
+      buffer_.begin() +
+          static_cast<std::ptrdiff_t>(slot_offset(step, kChannelDrhoDs)));
+}
+
+void GridHistory::fill_all(std::int64_t latest_step, const Grid2D& rho,
+                           const Grid2D& drho_ds) {
+  BD_CHECK(rho.spec() == spec_ && drho_ds.spec() == spec_);
+  initialized_ = true;
+  latest_step_ = latest_step;
+  for (std::uint32_t slot = 0; slot < depth_; ++slot) {
+    const std::int64_t step = latest_step - static_cast<std::int64_t>(slot);
+    std::copy(rho.data().begin(), rho.data().end(),
+              buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                    slot_offset(step, kChannelRho)));
+    std::copy(drho_ds.data().begin(), drho_ds.data().end(),
+              buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                    slot_offset(step, kChannelDrhoDs)));
+  }
+}
+
+const double* GridHistory::plane(std::int64_t step,
+                                 MomentChannel channel) const {
+  return buffer_.data() + slot_offset(step, channel);
+}
+
+const double* GridHistory::row_ptr(std::int64_t step, MomentChannel channel,
+                                   std::uint32_t ix, std::uint32_t iy) const {
+  BD_DCHECK(ix < spec_.nx && iy < spec_.ny);
+  return plane(step, channel) + static_cast<std::size_t>(iy) * spec_.nx + ix;
+}
+
+double GridHistory::value(std::int64_t step, MomentChannel channel,
+                          std::uint32_t ix, std::uint32_t iy) const {
+  return *row_ptr(step, channel, ix, iy);
+}
+
+}  // namespace bd::beam

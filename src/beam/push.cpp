@@ -1,0 +1,24 @@
+#include "beam/push.hpp"
+
+#include "util/check.hpp"
+
+namespace bd::beam {
+
+void leapfrog_push(ParticleSet& particles, std::span<const double> force_s,
+                   std::span<const double> force_y, double dt) {
+  const std::size_t n = particles.size();
+  BD_CHECK(force_s.empty() || force_s.size() == n);
+  BD_CHECK(force_y.empty() || force_y.size() == n);
+  auto s = particles.s();
+  auto y = particles.y();
+  auto ps = particles.ps();
+  auto py = particles.py();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!force_s.empty()) ps[i] += force_s[i] * dt;
+    if (!force_y.empty()) py[i] += force_y[i] * dt;
+    s[i] += ps[i] * dt;
+    y[i] += py[i] * dt;
+  }
+}
+
+}  // namespace bd::beam

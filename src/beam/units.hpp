@@ -1,0 +1,32 @@
+#pragma once
+/// \file units.hpp
+/// Normalized unit system and the physical setup of the validation case.
+///
+/// The simulation works in bunch-normalized units: c = 1, the longitudinal
+/// rms bunch size σ_s = 1, and time is measured so that one radial
+/// subregion S_j of the rp-integral spans exactly c·Δt. The LCLS-bend
+/// validation parameters of the paper (R0 = 25.13 m, θ_b = 11.4°,
+/// σ_s = 50 µm, Q = 1 nC) fix the conversion factors recorded here for
+/// reporting; all numerics run in normalized units.
+
+namespace bd::beam {
+
+/// Physical constants / conversions for the LCLS bend validation case.
+struct LclsBend {
+  double bend_radius_m = 25.13;     ///< R0
+  double bend_angle_deg = 11.4;     ///< θ_b
+  double sigma_s_m = 50e-6;         ///< longitudinal rms bunch size
+  double emittance_nm = 1.0;        ///< transverse emittance
+  double charge_nC = 1.0;           ///< total bunch charge Q
+};
+
+/// Normalized model parameters shared by samplers, integrands and the
+/// analytic reference.
+struct BeamParams {
+  double sigma_s = 1.0;     ///< longitudinal rms size (normalization)
+  double sigma_y = 1.0;     ///< transverse rms size, in σ_s units
+  double charge = 1.0;      ///< total normalized charge
+  double beta = 0.999;      ///< rigid drift velocity (c = 1)
+};
+
+}  // namespace bd::beam

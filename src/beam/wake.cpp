@@ -1,0 +1,103 @@
+#include "beam/wake.hpp"
+
+#include <cmath>
+
+#include "beam/stencil.hpp"
+#include "quad/gauss.hpp"
+#include "quad/newton_cotes.hpp"
+#include "util/check.hpp"
+
+namespace bd::beam {
+
+namespace {
+constexpr std::uint32_t kRangeSite = simt::site_id("beam/wake/s-range");
+
+double gaussian_kernel(double x, double sigma) {
+  const double z = x / sigma;
+  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * M_PI));
+}
+
+double gaussian_kernel_prime(double x, double sigma) {
+  return -x / (sigma * sigma) * gaussian_kernel(x, sigma);
+}
+}  // namespace
+
+WakeModel WakeModel::longitudinal() { return WakeModel{}; }
+
+WakeModel WakeModel::transverse() {
+  WakeModel m;
+  m.kernel_power = -2.0 / 3;
+  m.coupling_derivative = true;
+  m.channel = kChannelRho;
+  return m;
+}
+
+WakeIntegrand::WakeIntegrand(const GridHistory& history,
+                             const WakeModel& model, double s_point,
+                             double y_point, std::int64_t step,
+                             double sub_width)
+    : history_(history),
+      model_(model),
+      s_point_(s_point),
+      y_point_(y_point),
+      step_(step),
+      sub_width_(sub_width) {
+  BD_CHECK(sub_width > 0.0);
+  BD_CHECK(model.inner_points >= 2 && model.inner_points <= 9);
+  const double w = model.inner_halfwidth_sigmas * model.coupling_sigma;
+  inner_lo_ = y_point - w;
+  inner_width_ = 2.0 * w;
+  inner_y_.resize(static_cast<std::size_t>(model.inner_points));
+  inner_w_.resize(static_cast<std::size_t>(model.inner_points));
+  if (model.inner_rule == InnerRule::kNewtonCotes) {
+    const auto nc = quad::newton_cotes_weights(model.inner_points);
+    for (int i = 0; i < model.inner_points; ++i) {
+      inner_y_[static_cast<std::size_t>(i)] =
+          inner_lo_ + inner_width_ * static_cast<double>(i) /
+                          (model.inner_points - 1);
+      inner_w_[static_cast<std::size_t>(i)] =
+          nc[static_cast<std::size_t>(i)] * inner_width_;
+    }
+  } else {
+    const quad::GaussRule rule = quad::gauss_legendre(model.inner_points);
+    for (int i = 0; i < model.inner_points; ++i) {
+      inner_y_[static_cast<std::size_t>(i)] =
+          y_point + w * rule.nodes[static_cast<std::size_t>(i)];
+      inner_w_[static_cast<std::size_t>(i)] =
+          rule.weights[static_cast<std::size_t>(i)] * w;
+    }
+  }
+  // Fold the (fixed per grid point) coupling factor into the weights.
+  for (int i = 0; i < model.inner_points; ++i) {
+    const double delta = y_point - inner_y_[static_cast<std::size_t>(i)];
+    const double coupling = model.coupling_derivative
+                                ? gaussian_kernel_prime(delta,
+                                                        model.coupling_sigma)
+                                : gaussian_kernel(delta, model.coupling_sigma);
+    inner_w_[static_cast<std::size_t>(i)] *= coupling;
+  }
+}
+
+double WakeIntegrand::eval(double u, simt::LaneProbe& probe) const {
+  const GridSpec& spec = history_.spec();
+  const double s = s_point_ - u;
+  // Fast reject: the retarded sample sits entirely outside the grid.
+  const bool in_range = s >= spec.x0 - spec.dx && s <= spec.x_max() + spec.dx;
+  probe.branch(kRangeSite, in_range);
+  probe.count_flops(4);
+  if (!in_range) return 0.0;
+
+  const double t_steps = static_cast<double>(step_) - u / sub_width_;
+  double inner = 0.0;
+  for (std::size_t i = 0; i < inner_y_.size(); ++i) {
+    const double f = sample_spacetime(history_, model_.channel, s,
+                                      inner_y_[i], t_steps, probe);
+    inner += inner_w_[i] * f;
+  }
+  probe.count_flops(2 * inner_y_.size() + 12);
+  const double kernel =
+      std::pow(u + model_.regularization, model_.kernel_power);
+  return model_.amplitude * kernel * inner;
+}
+
+}  // namespace bd::beam

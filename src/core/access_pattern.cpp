@@ -1,0 +1,45 @@
+#include "core/access_pattern.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bd::core {
+
+double pattern_distance(std::span<const double> a,
+                        std::span<const double> b) {
+  BD_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::uint64_t pattern_total_intervals(std::span<const double> pattern) {
+  std::uint64_t total = 0;
+  for (double n : pattern) {
+    total += static_cast<std::uint64_t>(std::ceil(std::max(0.0, n)));
+  }
+  return total;
+}
+
+double pattern_references_to_grid(std::span<const double> pattern,
+                                  std::size_t i, double alpha) {
+  BD_CHECK(i < pattern.size());
+  double refs = pattern[i];
+  if (i >= 1) refs += pattern[i - 1];
+  if (i >= 2) refs += pattern[i - 2];
+  return alpha * refs;
+}
+
+void pattern_merge_max(std::span<double> into, std::span<const double> other) {
+  BD_CHECK(into.size() == other.size());
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    into[i] = std::max(into[i], other[i]);
+  }
+}
+
+}  // namespace bd::core

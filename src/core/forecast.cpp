@@ -1,0 +1,40 @@
+#include "core/forecast.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "quad/partition.hpp"
+#include "util/check.hpp"
+
+namespace bd::core {
+
+std::uint32_t round_pow2(double count) {
+  if (!(count > 1.0)) return 1;
+  const double level = std::round(std::log2(count));
+  return static_cast<std::uint32_t>(std::exp2(level));
+}
+
+std::vector<double> pattern_to_partition(std::span<const double> pattern,
+                                         double sub_width, double r_max,
+                                         double headroom) {
+  BD_CHECK(sub_width > 0.0 && r_max > 0.0 && headroom > 0.0);
+  std::vector<std::uint32_t> counts;
+  counts.reserve(pattern.size());
+  for (double n : pattern) counts.push_back(round_pow2(headroom * n));
+  return quad::partition_from_counts(counts, sub_width, r_max);
+}
+
+std::vector<double> pattern_to_partition_adaptive(
+    std::span<const double> pattern, const std::vector<double>& previous,
+    double sub_width, double r_max, double headroom) {
+  if (previous.size() < 2) {
+    return pattern_to_partition(pattern, sub_width, r_max, headroom);
+  }
+  std::vector<std::uint32_t> counts;
+  counts.reserve(pattern.size());
+  for (double n : pattern) counts.push_back(round_pow2(headroom * n));
+  return quad::refine_partition(previous, counts, sub_width, r_max);
+}
+
+}  // namespace bd::core

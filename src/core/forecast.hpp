@@ -1,0 +1,47 @@
+#pragma once
+/// \file forecast.hpp
+/// COMPUTE-PARTITION (paper §III-C2): transform a (predicted) access
+/// pattern into an rp-integral partition. Counts are rounded up to powers
+/// of two so partitions of similar patterns share breakpoints — unions of
+/// dyadic partitions nest, which keeps the per-cluster merged partition
+/// (MERGE-LISTS over all members) close to the finest member instead of
+/// blowing up.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bd::core {
+
+/// Partition transform selector (§III-C2).
+enum class PartitionTransform {
+  kUniform,   ///< method 1: n_j equal (dyadic) pieces per subregion
+  kAdaptive,  ///< method 2: refine the previous step's partition
+};
+
+/// Round to the *nearest* power of two in log space (0 -> 1). Nearest —
+/// not ceiling — so kNN-averaged counts between two dyadic levels do not
+/// systematically escalate to the higher level (which would ratchet the
+/// partitions finer every step).
+std::uint32_t round_pow2(double count);
+
+/// Provisioning headroom applied to predicted counts before rounding —
+/// biases toward the next dyadic level so marginal predictions do not fall
+/// through to the (divergent) adaptive fallback every step.
+inline constexpr double kPartitionHeadroom = 1.3;
+
+/// Uniform transform: subregion j gets round_pow2(headroom · pattern[j])
+/// equal intervals. Returns breakpoints over [0, r_max].
+std::vector<double> pattern_to_partition(std::span<const double> pattern,
+                                         double sub_width, double r_max,
+                                         double headroom = kPartitionHeadroom);
+
+/// Adaptive transform: subdivide the previous partition so each subregion
+/// reaches at least the predicted count (paper: split each previous
+/// interval in S_j into n_j/d_j pieces). Falls back to the uniform
+/// transform when there is no previous partition.
+std::vector<double> pattern_to_partition_adaptive(
+    std::span<const double> pattern, const std::vector<double>& previous,
+    double sub_width, double r_max, double headroom = kPartitionHeadroom);
+
+}  // namespace bd::core

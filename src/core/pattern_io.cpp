@@ -1,0 +1,61 @@
+#include "core/pattern_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace bd::core {
+
+void save_pattern_field(const PatternField& field, const std::string& path) {
+  util::CsvWriter csv(path);
+  std::vector<std::string> header{"point"};
+  for (std::size_t j = 0; j < field.subregions(); ++j) {
+    header.push_back("n" + std::to_string(j));
+  }
+  csv.header(header);
+  for (std::size_t p = 0; p < field.points(); ++p) {
+    csv.cell(static_cast<std::uint64_t>(p));
+    for (double v : field.at(p)) csv.cell(v);
+    csv.end_row();
+  }
+  csv.close();
+}
+
+PatternField load_pattern_field(const std::string& path) {
+  std::ifstream in(path);
+  BD_CHECK_MSG(in.good(), "cannot open pattern file: " << path);
+  std::string line;
+  BD_CHECK_MSG(static_cast<bool>(std::getline(in, line)),
+               "empty pattern file: " << path);
+  // Count columns from the header.
+  std::size_t columns = 1;
+  for (char c : line) {
+    if (c == ',') ++columns;
+  }
+  BD_CHECK_MSG(columns >= 2, "pattern file needs at least one subregion");
+  const std::size_t subregions = columns - 1;
+
+  std::vector<double> values;
+  std::size_t points = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    std::size_t col = 0;
+    while (std::getline(row, cell, ',')) {
+      if (col > 0) values.push_back(std::stod(cell));
+      ++col;
+    }
+    BD_CHECK_MSG(col == columns, "row " << points << " has " << col
+                                        << " cells, expected " << columns);
+    ++points;
+  }
+  PatternField field(points, subregions);
+  std::copy(values.begin(), values.end(), field.flat().begin());
+  return field;
+}
+
+}  // namespace bd::core

@@ -1,0 +1,21 @@
+#pragma once
+/// \file pattern_io.hpp
+/// Persistence for access-pattern fields: save/load the observed or
+/// forecast patterns of a step as CSV, so pattern evolution can be
+/// analyzed offline (or a predictor warm-started from a previous run).
+
+#include <string>
+
+#include "core/access_pattern.hpp"
+
+namespace bd::core {
+
+/// Write a PatternField as CSV: one row per grid point
+/// (point, n_0, n_1, ..., n_{Ns-1}).
+void save_pattern_field(const PatternField& field, const std::string& path);
+
+/// Read a PatternField written by save_pattern_field. Throws
+/// bd::CheckError on malformed input.
+PatternField load_pattern_field(const std::string& path);
+
+}  // namespace bd::core

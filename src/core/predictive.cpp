@@ -1,0 +1,264 @@
+#include "core/predictive.hpp"
+
+#include <algorithm>
+
+#include "core/rp_kernels.hpp"
+#include "quad/partition.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace bd::core {
+
+namespace {
+constexpr std::size_t kFeatureDim = 3;  // (x, y, t)
+}
+
+PredictiveSolver::PredictiveSolver(simt::DeviceSpec device,
+                                   PredictiveOptions options)
+    : device_(std::move(device)), options_(options) {
+  BD_CHECK(options_.training_stride >= 1);
+}
+
+void PredictiveSolver::reset() {
+  predictor_.reset();
+  previous_partitions_.clear();
+  smoothed_ = PatternField{};
+}
+
+SolveResult PredictiveSolver::solve(const RpProblem& problem) {
+  if (!trained()) return solve_bootstrap(problem);
+  return solve_predictive(problem);
+}
+
+SolveResult PredictiveSolver::solve_bootstrap(const RpProblem& problem) {
+  util::WallTimer wall;
+
+  const std::vector<double> coarse = pattern_to_partition(
+      std::vector<double>(problem.num_subregions, 1.0), problem.sub_width,
+      problem.r_max(), /*headroom=*/1.0);
+  std::vector<std::vector<double>> point_partitions(problem.num_points(),
+                                                    coarse);
+  const ClusterAssignment blocks =
+      chunk_clustering(problem.num_points(), 128);
+
+  RpKernelInput input;
+  input.problem = &problem;
+  input.clusters = &blocks;
+  input.source = PartitionSource::kPerPoint;
+  input.point_partitions = &point_partitions;
+
+  RpKernelOutput kernel1 = run_compute_rp_integral(device_, input);
+  const FallbackOutput kernel2 = run_adaptive_fallback(
+      device_, problem, kernel1.failed, kernel1.integral, kernel1.error,
+      kernel1.contributions);
+
+  simt::KernelMetrics metrics = kernel1.metrics;
+  metrics += kernel2.metrics;
+
+  double train_seconds = 0.0;
+  learn(problem, kernel1.contributions, train_seconds);
+
+  SolveResult result = detail::make_result(
+      problem, std::move(kernel1.integral), std::move(kernel1.error),
+      std::move(kernel1.contributions), std::move(metrics));
+  result.fallback_items = kernel1.failed.size();
+  result.kernel_intervals = kernel1.intervals;
+  result.train_seconds = train_seconds;
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+PatternField PredictiveSolver::forecast(const RpProblem& problem) const {
+  BD_CHECK_MSG(predictor_ && predictor_->ready(),
+               "forecast requires a trained predictor");
+  const std::size_t num_points = problem.num_points();
+  PatternField predicted(num_points, problem.num_subregions);
+  // The paper parallelizes this per-point loop with OpenMP (§IV-A);
+  // predict_into is const and reentrant.
+#pragma omp parallel for schedule(static)
+  for (std::size_t p = 0; p < num_points; ++p) {
+    double features[kFeatureDim];
+    problem.point_coords(p, features[0], features[1]);
+    features[2] = static_cast<double>(problem.step);
+    predictor_->predict_into(std::span<const double>(features, kFeatureDim),
+                             predicted.at(p));
+  }
+  return predicted;
+}
+
+SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
+  util::WallTimer wall;
+  const std::size_t num_points = problem.num_points();
+
+  // (1) + (2): forecast patterns, build per-point partitions.
+  util::WallTimer forecast_timer;
+  PatternField predicted = forecast(problem);
+  std::vector<std::vector<double>> point_partitions(num_points);
+  const bool use_adaptive =
+      options_.transform == PartitionTransform::kAdaptive &&
+      previous_partitions_.size() == num_points;
+  for (std::size_t p = 0; p < num_points; ++p) {
+    point_partitions[p] =
+        use_adaptive
+            ? pattern_to_partition_adaptive(predicted.at(p),
+                                            previous_partitions_[p],
+                                            problem.sub_width,
+                                            problem.r_max())
+            : pattern_to_partition(predicted.at(p), problem.sub_width,
+                                   problem.r_max());
+  }
+  const double forecast_seconds = forecast_timer.seconds();
+
+  // (3) RP-CLUSTERING on the forecast patterns. Cluster count: the paper
+  // uses m = max(N_X, N_Y); our default sizes clusters to fill an SM's
+  // resident warps (~512 points) so the co-resident warps that share the
+  // L1 all come from one pattern-similar cluster. Set options_.clusters
+  // to max(N_X, N_Y) to reproduce the paper's choice (ablated in
+  // bench_ablation).
+  util::WallTimer cluster_timer;
+  const beam::GridSpec& spec = problem.grid();
+  const std::size_t auto_m = std::clamp<std::size_t>(
+      num_points / (device_.resident_warps_per_sm * device_.warp_size), 4,
+      1024);
+  const std::size_t m = options_.clusters ? options_.clusters : auto_m;
+  ClusterAssignment clusters;
+  if (options_.tiled) {
+    TiledClusteringOptions tiled_options;
+    tiled_options.clusters = std::min(m, num_points);
+    tiled_options.tile_w = options_.tile_w;
+    tiled_options.tile_h = options_.tile_h;
+    tiled_options.seed = options_.cluster_seed;
+    clusters = rp_clustering_tiled(predicted, spec, tiled_options);
+  } else {
+    std::vector<double> coord_x(num_points), coord_y(num_points);
+    for (std::size_t p = 0; p < num_points; ++p) {
+      problem.point_coords(p, coord_x[p], coord_y[p]);
+    }
+    RpClusteringOptions cluster_options;
+    cluster_options.clusters = std::min(m, num_points);
+    cluster_options.balanced = options_.balanced_clusters;
+    cluster_options.seed = options_.cluster_seed;
+    cluster_options.spatial_weight = options_.spatial_weight;
+    clusters = rp_clustering(predicted, coord_x, coord_y, cluster_options);
+  }
+
+  // MERGE-LISTS: a shared partition per warp (default) or per cluster.
+  // Warp granularity keeps control flow lockstep exactly where SIMD
+  // hardware needs it while evaluating barely more intervals than the
+  // members individually require.
+  std::vector<std::vector<double>> shared;
+  const std::size_t warp = device_.warp_size;
+  for (std::size_t c = 0; c < clusters.members.size(); ++c) {
+    const auto& members = clusters.members[c];
+    if (options_.merge_per_warp) {
+      for (std::size_t lo = 0; lo < members.size(); lo += warp) {
+        const std::size_t hi = std::min(members.size(), lo + warp);
+        std::vector<double> merged;
+        for (std::size_t i = lo; i < hi; ++i) {
+          merged = merged.empty()
+                       ? point_partitions[members[i]]
+                       : quad::merge_partitions(merged,
+                                                point_partitions[members[i]]);
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          point_partitions[members[i]] = merged;
+        }
+      }
+    } else {
+      std::vector<double> merged;
+      for (std::uint32_t p : members) {
+        merged = merged.empty()
+                     ? point_partitions[p]
+                     : quad::merge_partitions(merged, point_partitions[p]);
+      }
+      shared.push_back(std::move(merged));
+    }
+  }
+  const double clustering_seconds = cluster_timer.seconds();
+
+  // (4) COMPUTE-RP-INTEGRAL with uniform per-warp/per-block control flow.
+  RpKernelInput input;
+  input.problem = &problem;
+  input.clusters = &clusters;
+  if (options_.merge_per_warp) {
+    input.source = PartitionSource::kPerPoint;
+    input.point_partitions = &point_partitions;
+  } else {
+    input.source = PartitionSource::kSharedPerCluster;
+    input.shared_partitions = &shared;
+  }
+  RpKernelOutput kernel1 = run_compute_rp_integral(device_, input);
+
+  // (5) adaptive fallback for intervals that missed τ.
+  const FallbackOutput kernel2 = run_adaptive_fallback(
+      device_, problem, kernel1.failed, kernel1.integral, kernel1.error,
+      kernel1.contributions);
+
+  simt::KernelMetrics metrics = kernel1.metrics;
+  metrics += kernel2.metrics;
+
+  // Remember per-point partitions for the adaptive transform.
+  if (options_.transform == PartitionTransform::kAdaptive) {
+    previous_partitions_ = std::move(point_partitions);
+  }
+
+  // (6) ONLINE-LEARNING on the observed patterns.
+  double train_seconds = 0.0;
+  learn(problem, kernel1.contributions, train_seconds);
+
+  SolveResult result = detail::make_result(
+      problem, std::move(kernel1.integral), std::move(kernel1.error),
+      std::move(kernel1.contributions), std::move(metrics));
+  result.fallback_items = kernel1.failed.size();
+  result.kernel_intervals = kernel1.intervals;
+  result.clustering_seconds = clustering_seconds;
+  result.forecast_seconds = forecast_seconds;
+  result.train_seconds = train_seconds;
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+void PredictiveSolver::learn(const RpProblem& problem,
+                             const PatternField& observed,
+                             double& train_seconds) {
+  const std::size_t num_points = problem.num_points();
+  const std::size_t stride = options_.training_stride;
+  const std::size_t examples = (num_points + stride - 1) / stride;
+
+  // EMA-smooth the observations (damps refine/coarsen oscillation).
+  const double alpha = std::clamp(options_.observation_ema, 0.0, 1.0);
+  if (smoothed_.points() != num_points ||
+      smoothed_.subregions() != problem.num_subregions) {
+    smoothed_ = observed;
+  } else {
+    auto s = smoothed_.flat();
+    const auto o = observed.flat();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s[i] = alpha * o[i] + (1.0 - alpha) * s[i];
+    }
+  }
+
+  if (!predictor_ || predictor_->target_dim() != problem.num_subregions) {
+    predictor_ = std::make_unique<ml::OnlinePredictor>(
+        options_.predictor, kFeatureDim, problem.num_subregions,
+        options_.training_window, options_.knn, options_.ridge);
+  }
+
+  std::vector<double> features;
+  std::vector<double> targets;
+  features.reserve(examples * kFeatureDim);
+  targets.reserve(examples * problem.num_subregions);
+  for (std::size_t p = 0; p < num_points; p += stride) {
+    double x = 0.0, y = 0.0;
+    problem.point_coords(p, x, y);
+    features.push_back(x);
+    features.push_back(y);
+    features.push_back(static_cast<double>(problem.step));
+    const auto obs = smoothed_.at(p);
+    targets.insert(targets.end(), obs.begin(), obs.end());
+  }
+  predictor_->observe_step(features, targets, examples);
+  train_seconds = predictor_->last_train_seconds();
+}
+
+}  // namespace bd::core

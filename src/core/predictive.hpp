@@ -1,0 +1,90 @@
+#pragma once
+/// \file predictive.hpp
+/// Predictive-RP — the paper's contribution (Algorithm 1). Each step:
+///
+///   1. forecast every grid point's access pattern with the online
+///      predictor g learned at the previous step (kNN regression by
+///      default, ridge regression as the alternative);
+///   2. COMPUTE-PARTITION: transform forecasts into quadrature partitions
+///      (§III-C2, uniform or adaptive transform);
+///   3. RP-CLUSTERING: k-means over the forecast patterns groups points of
+///      similar access behaviour; every cluster becomes one thread block
+///      and its members' partitions are merged (MERGE-LISTS) into a single
+///      shared partition — uniform control flow, maximal data reuse;
+///   4. COMPUTE-RP-INTEGRAL kernel over the shared partitions;
+///   5. RP-ADAPTIVEQUADRATURE fallback on intervals that missed τ
+///      (prediction is a performance hint, never a correctness dependency);
+///   6. ONLINE-LEARNING: observed patterns retrain the predictor.
+///
+/// The first step has no trained predictor and bootstraps exactly like the
+/// Two-Phase baseline (coarse partition + adaptive fallback), which also
+/// provides the first training set.
+
+#include <vector>
+
+#include "core/access_pattern.hpp"
+#include "core/forecast.hpp"
+#include "core/solver.hpp"
+#include "ml/online.hpp"
+
+namespace bd::core {
+
+/// Predictive-RP configuration.
+struct PredictiveOptions {
+  ml::PredictorKind predictor = ml::PredictorKind::kKnn;
+  ml::KnnConfig knn;                 ///< kNN hyperparameters
+  ml::LinRegConfig ridge;            ///< ridge hyperparameters
+  std::size_t training_window = 1;   ///< steps of history kept for training
+  PartitionTransform transform = PartitionTransform::kUniform;
+  std::size_t clusters = 0;          ///< 0 = paper's m = max(N_X, N_Y)
+  bool balanced_clusters = true;     ///< equal-size clusters (block-shaped)
+  std::uint64_t cluster_seed = 42;
+  /// Weight of grid coordinates in the clustering features (see
+  /// RpClusteringOptions::spatial_weight). Only used when tiled = false.
+  double spatial_weight = 0.75;
+  /// Use warp-tile-granular clustering (rp_clustering_tiled) — the
+  /// production mapping. false = plain per-point k-means (ablation).
+  bool tiled = true;
+  std::uint32_t tile_w = 8;   ///< tile width (points along s)
+  std::uint32_t tile_h = 4;   ///< tile height (points along y)
+  /// MERGE-LISTS granularity: true merges member partitions per *warp*
+  /// (lockstep where it matters, minimal over-evaluation); false merges
+  /// over the whole cluster/block as in the paper's Algorithm 1.
+  bool merge_per_warp = true;
+  /// Sample stride for training examples (1 = every grid point; larger
+  /// strides cut host training cost at negligible forecast-quality loss).
+  std::size_t training_stride = 4;
+  /// EMA factor blending new observations into the training targets
+  /// (damps refine/coarsen oscillation; 1 = use raw observations).
+  double observation_ema = 0.5;
+};
+
+class PredictiveSolver final : public RpSolver {
+ public:
+  PredictiveSolver(simt::DeviceSpec device, PredictiveOptions options = {});
+
+  SolveResult solve(const RpProblem& problem) override;
+  const char* name() const override { return "predictive-rp"; }
+  void reset() override;
+
+  /// Forecast access patterns for the given step using the current model
+  /// (exposed for forecast-quality benchmarks). Requires a trained model.
+  PatternField forecast(const RpProblem& problem) const;
+
+  /// True once the online predictor has been trained at least once.
+  bool trained() const { return predictor_ && predictor_->ready(); }
+
+ private:
+  SolveResult solve_bootstrap(const RpProblem& problem);
+  SolveResult solve_predictive(const RpProblem& problem);
+  void learn(const RpProblem& problem, const PatternField& observed,
+             double& train_seconds);
+
+  simt::DeviceSpec device_;
+  PredictiveOptions options_;
+  std::unique_ptr<ml::OnlinePredictor> predictor_;
+  std::vector<std::vector<double>> previous_partitions_;  // adaptive transform
+  PatternField smoothed_;  ///< EMA of observed patterns (training targets)
+};
+
+}  // namespace bd::core

@@ -1,0 +1,62 @@
+#pragma once
+/// \file problem.hpp
+/// The shared problem description every rp-solver consumes, and the result
+/// type they all produce (including the timing breakdown of Table II and
+/// the profiler metrics of Table I).
+
+#include <cstdint>
+
+#include "beam/grid.hpp"
+#include "beam/history.hpp"
+#include "beam/wake.hpp"
+#include "core/access_pattern.hpp"
+#include "simt/metrics.hpp"
+
+namespace bd::core {
+
+/// One compute-retarded-potentials task: evaluate the rp-integral at every
+/// node of the output grid for time step `step`.
+struct RpProblem {
+  const beam::GridHistory* history = nullptr;
+  const beam::WakeModel* model = nullptr;
+  std::int64_t step = 0;          ///< current time step k
+  double sub_width = 1.0;         ///< c·Δt — width of each radial subregion
+  std::uint32_t num_subregions = 12;  ///< κ
+  double tolerance = 1e-6;        ///< τ
+
+  double r_max() const { return sub_width * num_subregions; }
+  const beam::GridSpec& grid() const { return history->spec(); }
+  std::size_t num_points() const { return grid().nodes(); }
+
+  /// Physical coordinates of grid point `p` (row-major node index).
+  void point_coords(std::size_t p, double& x, double& y) const {
+    const beam::GridSpec& g = grid();
+    x = g.x_at(static_cast<std::uint32_t>(p % g.nx));
+    y = g.y_at(static_cast<std::uint32_t>(p / g.nx));
+  }
+};
+
+/// What a solver returns.
+struct SolveResult {
+  beam::Grid2D values;    ///< rp-integral estimate at every node
+  beam::Grid2D errors;    ///< accumulated error estimates
+  PatternField observed;  ///< per-point observed access patterns
+  simt::KernelMetrics metrics;  ///< merged over the solver's kernel launches
+
+  double gpu_seconds = 0.0;         ///< modeled kernel time
+  double clustering_seconds = 0.0;  ///< host clustering (Table II column)
+  double train_seconds = 0.0;       ///< host model training
+  double forecast_seconds = 0.0;    ///< host prediction + partition build
+  double wall_seconds = 0.0;        ///< total host wall time of solve()
+
+  std::uint64_t fallback_items = 0;  ///< intervals sent to the adaptive pass
+  std::uint64_t kernel_intervals = 0;  ///< intervals evaluated in kernel 1
+
+  /// Sum of modeled GPU time and host overheads (the paper's overall time).
+  double overall_seconds() const {
+    return gpu_seconds + clustering_seconds + train_seconds +
+           forecast_seconds;
+  }
+};
+
+}  // namespace bd::core

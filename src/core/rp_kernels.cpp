@@ -1,0 +1,192 @@
+#include "core/rp_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cmath>
+
+#include "beam/wake.hpp"
+#include "quad/adaptive.hpp"
+#include "quad/partition.hpp"
+#include "quad/simpson.hpp"
+#include "simt/executor.hpp"
+#include "util/check.hpp"
+
+namespace bd::core {
+
+namespace {
+constexpr std::uint32_t kIntervalLoop = simt::site_id("core/rp/interval-loop");
+constexpr std::uint32_t kAcceptSite = simt::site_id("core/rp/accept");
+
+std::uint32_t block_dim_for(std::size_t max_cluster, std::uint32_t warp,
+                            std::uint32_t max_threads) {
+  const std::uint32_t raw =
+      static_cast<std::uint32_t>((max_cluster + warp - 1) / warp) * warp;
+  return std::min(std::max(raw, warp), max_threads);
+}
+
+/// Subregion index of an interval midpoint.
+std::size_t subregion_of(const RpProblem& problem, double a, double b) {
+  const double mid = 0.5 * (a + b);
+  auto j = static_cast<std::int64_t>(std::floor(mid / problem.sub_width));
+  j = std::clamp<std::int64_t>(j, 0, problem.num_subregions - 1);
+  return static_cast<std::size_t>(j);
+}
+}  // namespace
+
+RpKernelOutput run_compute_rp_integral(const simt::DeviceSpec& device,
+                                       const RpKernelInput& input) {
+  BD_CHECK(input.problem && input.clusters);
+  const RpProblem& problem = *input.problem;
+  const ClusterAssignment& clusters = *input.clusters;
+  if (input.source == PartitionSource::kSharedPerCluster) {
+    BD_CHECK(input.shared_partitions &&
+             input.shared_partitions->size() == clusters.members.size());
+  } else {
+    BD_CHECK(input.point_partitions &&
+             input.point_partitions->size() == problem.num_points());
+  }
+
+  const std::size_t num_points = problem.num_points();
+  RpKernelOutput out;
+  out.integral.assign(num_points, 0.0);
+  out.error.assign(num_points, 0.0);
+  out.contributions = PatternField(num_points, problem.num_subregions);
+
+  const std::uint32_t block_dim = block_dim_for(
+      clusters.max_cluster_size, device.warp_size, device.max_threads_per_block);
+  BD_CHECK_MSG(clusters.max_cluster_size <= block_dim,
+               "cluster larger than a thread block ("
+                   << clusters.max_cluster_size << " > " << block_dim << ")");
+
+  simt::LaunchConfig launch;
+  launch.num_blocks = static_cast<std::uint32_t>(clusters.members.size());
+  launch.threads_per_block = block_dim;
+
+  // Per-block failure lists (blocks never interleave within an SM, so this
+  // is race-free even if the executor parallelizes over SMs).
+  std::vector<std::vector<FailedInterval>> failed_per_block(
+      clusters.members.size());
+  std::vector<std::uint64_t> intervals_per_block(clusters.members.size(), 0);
+
+  auto kernel = [&](const simt::ThreadCtx& ctx, simt::LaneProbe& probe) {
+    const auto& members = clusters.members[ctx.block_id];
+    if (ctx.thread_id >= members.size()) {
+      probe.loop_trip(kIntervalLoop, 0);  // resident but idle lane
+      return;
+    }
+    const std::uint32_t point = members[ctx.thread_id];
+    double x = 0.0, y = 0.0;
+    problem.point_coords(point, x, y);
+    const beam::WakeIntegrand integrand(*problem.history, *problem.model, x,
+                                        y, problem.step, problem.sub_width);
+
+    const std::vector<double>& partition =
+        input.source == PartitionSource::kSharedPerCluster
+            ? (*input.shared_partitions)[ctx.block_id]
+            : (*input.point_partitions)[point];
+    BD_DCHECK(quad::is_valid_partition(partition));
+
+    const std::size_t intervals = partition.size() - 1;
+    probe.loop_trip(kIntervalLoop, intervals);
+    intervals_per_block[ctx.block_id] += intervals;
+
+    auto contrib = out.contributions.at(point);
+    for (std::size_t i = 0; i < intervals; ++i) {
+      const double a = partition[i];
+      const double b = partition[i + 1];
+      const quad::QuadEstimate est =
+          quad::simpson_estimate(integrand, a, b, probe);
+      const double tau_local = local_tolerance(problem, a, b);
+      const bool passed = est.error <= tau_local;
+      probe.branch(kAcceptSite, passed);
+      if (passed) {
+        out.integral[point] += est.integral;
+        out.error[point] += est.error;
+        // Report the *required* refinement of this interval, not the used
+        // one: Simpson error scales ~h⁴ relative to the width-proportional
+        // tolerance, so (err/τ_local)^(1/4) is the factor by which the
+        // interval should shrink (<1 = can coarsen). Clamped for stability;
+        // this makes the true requirement a fixed point of the
+        // observe→learn→predict loop instead of ratcheting finer.
+        const double ratio = est.error / tau_local;
+        const double factor =
+            std::clamp(std::pow(ratio, 0.25), 0.125, 2.0);
+        contrib[subregion_of(problem, a, b)] += factor;
+      } else {
+        failed_per_block[ctx.block_id].push_back(
+            FailedInterval{point, a, b});
+      }
+    }
+  };
+
+  out.metrics = simt::launch(device, launch, kernel);
+
+  for (std::size_t b = 0; b < failed_per_block.size(); ++b) {
+    out.failed.insert(out.failed.end(), failed_per_block[b].begin(),
+                      failed_per_block[b].end());
+    out.intervals += intervals_per_block[b];
+  }
+  return out;
+}
+
+FallbackOutput run_adaptive_fallback(const simt::DeviceSpec& device,
+                                     const RpProblem& problem,
+                                     std::span<const FailedInterval> failed,
+                                     std::vector<double>& integral,
+                                     std::vector<double>& error,
+                                     PatternField& contributions) {
+  FallbackOutput out;
+  if (failed.empty()) return out;
+  BD_CHECK(integral.size() == problem.num_points());
+  BD_CHECK(error.size() == problem.num_points());
+  BD_CHECK(contributions.points() == problem.num_points());
+
+  simt::LaunchConfig launch;
+  launch.threads_per_block = 128;
+  launch.num_blocks = static_cast<std::uint32_t>(
+      (failed.size() + launch.threads_per_block - 1) /
+      launch.threads_per_block);
+
+  std::vector<std::uint64_t> evals_per_item(failed.size(), 0);
+  std::vector<std::uint8_t> non_converged(failed.size(), 0);
+  out.intervals_per_item.assign(failed.size(), 0);
+
+  auto kernel = [&](const simt::ThreadCtx& ctx, simt::LaneProbe& probe) {
+    if (ctx.global_id >= failed.size()) {
+      probe.loop_trip(simt::site_id("quad/adaptive/worklist"), 0);
+      return;
+    }
+    const FailedInterval& item = failed[ctx.global_id];
+    double x = 0.0, y = 0.0;
+    problem.point_coords(item.point, x, y);
+    const beam::WakeIntegrand integrand(*problem.history, *problem.model, x,
+                                        y, problem.step, problem.sub_width);
+    const double tol = local_tolerance(problem, item.a, item.b);
+    const quad::AdaptiveResult result =
+        quad::adaptive_simpson(integrand, item.a, item.b, tol, probe);
+
+    // NOTE: distinct items may share a point; the serial executor makes the
+    // read-modify-write safe (a CUDA port would use atomics here).
+    integral[item.point] += result.integral;
+    error[item.point] += result.error;
+    const std::vector<std::uint32_t> counts = quad::count_per_subregion(
+        result.breakpoints, problem.sub_width, problem.num_subregions);
+    auto contrib = contributions.at(item.point);
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      contrib[j] += static_cast<double>(counts[j]);
+    }
+    evals_per_item[ctx.global_id] = result.evaluations;
+    non_converged[ctx.global_id] = result.converged ? 0 : 1;
+    out.intervals_per_item[ctx.global_id] =
+        static_cast<std::uint32_t>(result.breakpoints.size() - 1);
+  };
+
+  out.metrics = simt::launch(device, launch, kernel);
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    out.evaluations += evals_per_item[i];
+    out.non_converged += non_converged[i];
+  }
+  return out;
+}
+
+}  // namespace bd::core

@@ -1,0 +1,87 @@
+#pragma once
+/// \file rp_kernels.hpp
+/// The two modeled-GPU kernels every rp-solver is built from:
+///
+///  * COMPUTE-RP-INTEGRAL (paper Listing 1): one thread per grid point of
+///    its block's cluster; evaluates Simpson estimates over a prescribed
+///    partition (per-cluster merged — uniform control flow — or per-point),
+///    accumulates passing intervals and emits failing ones.
+///
+///  * RP-ADAPTIVEQUADRATURE (paper Algorithm 1, lines 18–24): one thread
+///    per failed (interval, point) pair running classic adaptive Simpson —
+///    the divergent fallback that guarantees the tolerance regardless of
+///    prediction quality.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "core/problem.hpp"
+#include "simt/device.hpp"
+
+namespace bd::core {
+
+/// An interval whose Simpson error exceeded the local tolerance.
+struct FailedInterval {
+  std::uint32_t point;
+  double a;
+  double b;
+};
+
+/// Where threads get their partitions from.
+enum class PartitionSource {
+  kSharedPerCluster,  ///< all lanes of a block walk the same merged list
+  kPerPoint,          ///< each lane walks its own point's partition
+};
+
+/// Inputs of COMPUTE-RP-INTEGRAL. Exactly one of `shared_partitions`
+/// (indexed by cluster) / `point_partitions` (indexed by grid point) is
+/// used, selected by `source`.
+struct RpKernelInput {
+  const RpProblem* problem = nullptr;
+  const ClusterAssignment* clusters = nullptr;
+  PartitionSource source = PartitionSource::kPerPoint;
+  const std::vector<std::vector<double>>* shared_partitions = nullptr;
+  const std::vector<std::vector<double>>* point_partitions = nullptr;
+};
+
+/// Outputs of COMPUTE-RP-INTEGRAL.
+struct RpKernelOutput {
+  std::vector<double> integral;   ///< per grid point (passing intervals)
+  std::vector<double> error;      ///< per grid point
+  PatternField contributions;     ///< fractional per-subregion counts
+  std::vector<FailedInterval> failed;  ///< intervals for the fallback pass
+  simt::KernelMetrics metrics;
+  std::uint64_t intervals = 0;    ///< intervals evaluated
+};
+
+/// Run COMPUTE-RP-INTEGRAL under the SIMT model.
+RpKernelOutput run_compute_rp_integral(const simt::DeviceSpec& device,
+                                       const RpKernelInput& input);
+
+/// Outputs of the fallback pass (integral/error/contributions are updated
+/// in place on the arrays produced by kernel 1).
+struct FallbackOutput {
+  simt::KernelMetrics metrics;
+  std::uint64_t evaluations = 0;
+  std::uint64_t non_converged = 0;  ///< items that hit the depth budget
+  /// Final adaptive interval count per failed item (same order as the
+  /// input span) — what "fine enough" turned out to mean there.
+  std::vector<std::uint32_t> intervals_per_item;
+};
+
+/// Run RP-ADAPTIVEQUADRATURE over the failed intervals.
+FallbackOutput run_adaptive_fallback(const simt::DeviceSpec& device,
+                                     const RpProblem& problem,
+                                     std::span<const FailedInterval> failed,
+                                     std::vector<double>& integral,
+                                     std::vector<double>& error,
+                                     PatternField& contributions);
+
+/// Local tolerance for an interval: τ scaled by its share of the domain.
+inline double local_tolerance(const RpProblem& problem, double a, double b) {
+  return problem.tolerance * (b - a) / problem.r_max();
+}
+
+}  // namespace bd::core

@@ -1,0 +1,105 @@
+#include "core/simulation.hpp"
+
+#include "beam/force.hpp"
+#include "beam/push.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace bd::core {
+
+Simulation::Simulation(SimConfig config, std::unique_ptr<RpSolver> solver,
+                       std::unique_ptr<RpSolver> transverse_solver)
+    : config_(config),
+      solver_(std::move(solver)),
+      transverse_solver_(std::move(transverse_solver)),
+      spec_(beam::make_centered_grid(config_.nx, config_.ny,
+                                     config_.half_extent_x,
+                                     config_.half_extent_y)),
+      history_(spec_, config_.history_depth()),
+      rho_(spec_),
+      drho_ds_(spec_),
+      force_s_grid_(spec_),
+      force_y_grid_(spec_) {
+  BD_CHECK_MSG(solver_ != nullptr, "simulation needs a solver");
+  BD_CHECK_MSG(!config_.compute_transverse || transverse_solver_ != nullptr,
+               "transverse solve requested without a transverse solver");
+}
+
+RpProblem Simulation::make_problem(const beam::WakeModel& model) const {
+  RpProblem problem;
+  problem.history = &history_;
+  problem.model = &model;
+  problem.step = step_;
+  problem.sub_width = config_.sub_width;
+  problem.num_subregions = config_.num_subregions;
+  problem.tolerance = config_.tolerance;
+  return problem;
+}
+
+void Simulation::deposit_current(double& seconds, double& dropped) {
+  util::WallTimer timer;
+  rho_.fill(0.0);
+  dropped = beam::deposit(particles_, config_.deposit, rho_);
+  beam::longitudinal_gradient(rho_, drho_ds_);
+  seconds = timer.seconds();
+}
+
+void Simulation::initialize() {
+  BD_CHECK_MSG(!initialized_, "initialize() called twice");
+  util::Rng rng(config_.seed);
+  particles_ =
+      beam::sample_gaussian_bunch(config_.particles, config_.beam, rng);
+  double seconds = 0.0, dropped = 0.0;
+  deposit_current(seconds, dropped);
+  step_ = 0;
+  history_.fill_all(step_, rho_, drho_ds_);
+  particle_force_s_.assign(particles_.size(), 0.0);
+  particle_force_y_.assign(particles_.size(), 0.0);
+  initialized_ = true;
+}
+
+StepStats Simulation::step() {
+  BD_CHECK_MSG(initialized_, "call initialize() first");
+  ++step_;
+  StepStats stats;
+  stats.step = step_;
+
+  // (1) particle deposition.
+  deposit_current(stats.deposit_seconds, stats.dropped_charge);
+  history_.push_step(step_, rho_, drho_ds_);
+
+  // (2) compute retarded potentials.
+  const RpProblem problem = make_problem(config_.longitudinal);
+  stats.longitudinal = solver_->solve(problem);
+  force_s_grid_ = stats.longitudinal.values;
+  if (config_.compute_transverse) {
+    const RpProblem tproblem = make_problem(config_.transverse);
+    stats.transverse = transverse_solver_->solve(tproblem);
+    force_y_grid_ = stats.transverse->values;
+  }
+
+  // (3) self-forces at the particles.
+  beam::gather_forces(force_s_grid_, particles_, particle_force_s_);
+  if (config_.compute_transverse) {
+    beam::gather_forces(force_y_grid_, particles_, particle_force_y_);
+  }
+
+  // (4) push (the rigid validation bunch does not evolve).
+  if (!config_.rigid) {
+    beam::leapfrog_push(particles_, particle_force_s_,
+                        config_.compute_transverse
+                            ? std::span<const double>(particle_force_y_)
+                            : std::span<const double>(),
+                        config_.dt);
+  }
+  return stats;
+}
+
+std::vector<StepStats> Simulation::run(std::size_t n) {
+  std::vector<StepStats> all;
+  all.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) all.push_back(step());
+  return all;
+}
+
+}  // namespace bd::core

@@ -1,0 +1,100 @@
+#pragma once
+/// \file simulation.hpp
+/// The full four-step beam-dynamics simulation loop (paper §II-A, Fig. 1):
+/// deposit → compute retarded potentials (pluggable rp-solver) →
+/// gather self-forces → push. Owns the particle set, the moment-grid
+/// history and the per-step statistics the benchmarks report.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "beam/bunch.hpp"
+#include "beam/deposit.hpp"
+#include "beam/history.hpp"
+#include "beam/units.hpp"
+#include "beam/wake.hpp"
+#include "core/solver.hpp"
+
+namespace bd::core {
+
+/// Full simulation configuration.
+struct SimConfig {
+  std::size_t particles = 100000;
+  std::uint32_t nx = 64;
+  std::uint32_t ny = 64;
+  double half_extent_x = 6.0;  ///< grid spans ±6σ_s longitudinally
+  double half_extent_y = 6.0;  ///< and ±6σ_y transversely (σ_y units of σ_s)
+  double sub_width = 1.0;      ///< c·Δt (radial subregion width)
+  std::uint32_t num_subregions = 12;  ///< κ
+  double tolerance = 1e-6;     ///< τ (paper §V)
+  double dt = 1.0;             ///< push step (= sub_width / c)
+  bool rigid = false;          ///< validation mode: skip the push
+  bool compute_transverse = false;  ///< also solve the transverse model
+  std::uint64_t seed = 20170801;
+  beam::BeamParams beam;
+  beam::DepositScheme deposit = beam::DepositScheme::kTSC;
+  beam::WakeModel longitudinal = beam::WakeModel::longitudinal();
+  beam::WakeModel transverse = beam::WakeModel::transverse();
+
+  /// History depth required to interpolate every subregion in time.
+  std::uint32_t history_depth() const { return num_subregions + 4; }
+};
+
+/// Statistics of one simulation step.
+struct StepStats {
+  std::int64_t step = 0;
+  double deposit_seconds = 0.0;
+  double dropped_charge = 0.0;
+  SolveResult longitudinal;
+  std::optional<SolveResult> transverse;
+};
+
+/// The simulation driver.
+class Simulation {
+ public:
+  /// \param solver rp-solver for the longitudinal component (owned).
+  /// \param transverse_solver optional solver for the transverse component
+  ///        (must be a distinct instance — solvers carry per-model state).
+  Simulation(SimConfig config, std::unique_ptr<RpSolver> solver,
+             std::unique_ptr<RpSolver> transverse_solver = nullptr);
+
+  /// Sample the bunch, deposit it, and pre-fill the history ("the beam
+  /// arrived in steady state"). Must be called once before step().
+  void initialize();
+
+  /// Run one full simulation step; returns its statistics.
+  StepStats step();
+
+  /// Run `n` steps; returns per-step statistics.
+  std::vector<StepStats> run(std::size_t n);
+
+  const beam::ParticleSet& particles() const { return particles_; }
+  beam::ParticleSet& particles() { return particles_; }
+  const beam::GridHistory& history() const { return history_; }
+  const beam::Grid2D& force_s() const { return force_s_grid_; }
+  const beam::Grid2D& force_y() const { return force_y_grid_; }
+  const SimConfig& config() const { return config_; }
+  std::int64_t current_step() const { return step_; }
+  RpSolver& solver() { return *solver_; }
+
+  /// The RpProblem for the current step and given model (for tooling).
+  RpProblem make_problem(const beam::WakeModel& model) const;
+
+ private:
+  void deposit_current(double& seconds, double& dropped);
+
+  SimConfig config_;
+  std::unique_ptr<RpSolver> solver_;
+  std::unique_ptr<RpSolver> transverse_solver_;
+  beam::GridSpec spec_;
+  beam::ParticleSet particles_;
+  beam::GridHistory history_;
+  beam::Grid2D rho_, drho_ds_;
+  beam::Grid2D force_s_grid_, force_y_grid_;
+  std::vector<double> particle_force_s_, particle_force_y_;
+  std::int64_t step_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace bd::core

@@ -1,0 +1,27 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace bd::core::detail {
+
+SolveResult make_result(const RpProblem& problem,
+                        std::vector<double>&& integral,
+                        std::vector<double>&& error,
+                        PatternField&& contributions,
+                        simt::KernelMetrics&& metrics) {
+  const beam::GridSpec& spec = problem.grid();
+  BD_CHECK(integral.size() == spec.nodes());
+  SolveResult result;
+  result.values = beam::Grid2D(spec);
+  result.errors = beam::Grid2D(spec);
+  std::copy(integral.begin(), integral.end(), result.values.data().begin());
+  std::copy(error.begin(), error.end(), result.errors.data().begin());
+  result.observed = std::move(contributions);
+  result.metrics = std::move(metrics);
+  result.gpu_seconds = result.metrics.modeled_seconds;
+  return result;
+}
+
+}  // namespace bd::core::detail

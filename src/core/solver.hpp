@@ -1,0 +1,44 @@
+#pragma once
+/// \file solver.hpp
+/// Abstract interface of a compute-retarded-potentials solver, implemented
+/// by the Two-Phase-RP [9] and Heuristic-RP [10] baselines and by the
+/// paper's Predictive-RP algorithm. Solvers are stateful across time steps
+/// (they learn / reuse partitions) — create one per simulation.
+
+#include <memory>
+
+#include "core/problem.hpp"
+#include "simt/device.hpp"
+
+namespace bd::core {
+
+/// Stateful rp-solver.
+class RpSolver {
+ public:
+  virtual ~RpSolver() = default;
+
+  /// Evaluate the rp-integral at every grid node for the problem's step.
+  /// Steps must be solved in increasing order (state carries forward).
+  virtual SolveResult solve(const RpProblem& problem) = 0;
+
+  /// Solver name for reports ("two-phase-rp", "heuristic-rp",
+  /// "predictive-rp").
+  virtual const char* name() const = 0;
+
+  /// Forget all cross-step state (for reuse across independent runs).
+  virtual void reset() = 0;
+};
+
+/// Shared helpers for solver implementations.
+namespace detail {
+
+/// Package kernel outputs into a SolveResult (grids + merged metrics).
+SolveResult make_result(const RpProblem& problem,
+                        std::vector<double>&& integral,
+                        std::vector<double>&& error,
+                        PatternField&& contributions,
+                        simt::KernelMetrics&& metrics);
+
+}  // namespace detail
+
+}  // namespace bd::core

@@ -1,0 +1,101 @@
+#include "ml/kdtree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/linalg.hpp"
+#include "util/check.hpp"
+
+namespace bd::ml {
+
+void KdTree::build(std::span<const double> points, std::size_t count,
+                   std::size_t dim) {
+  BD_CHECK(dim > 0);
+  BD_CHECK_MSG(points.size() == count * dim, "points size mismatch");
+  count_ = count;
+  dim_ = dim;
+  points_.assign(points.begin(), points.end());
+  nodes_.clear();
+  nodes_.reserve(count);
+  root_ = -1;
+  if (count == 0) return;
+  std::vector<std::uint32_t> indices(count);
+  std::iota(indices.begin(), indices.end(), 0u);
+  root_ = build_recursive(indices, 0);
+}
+
+std::int32_t KdTree::build_recursive(std::span<std::uint32_t> indices,
+                                     int depth) {
+  if (indices.empty()) return -1;
+  const auto axis = static_cast<std::uint32_t>(depth % static_cast<int>(dim_));
+  const std::size_t mid = indices.size() / 2;
+  std::nth_element(indices.begin(), indices.begin() + mid, indices.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     const double va = point(a)[axis];
+                     const double vb = point(b)[axis];
+                     return va < vb || (va == vb && a < b);
+                   });
+  const std::uint32_t median = indices[mid];
+  Node node;
+  node.axis = axis;
+  node.point = median;
+  node.split = point(median)[axis];
+  const auto self = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  const std::int32_t left = build_recursive(indices.subspan(0, mid), depth + 1);
+  const std::int32_t right =
+      build_recursive(indices.subspan(mid + 1), depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+namespace {
+// Max-heap ordering on squared distance; ties broken toward larger index so
+// smaller indices are kept.
+bool heap_less(const Neighbor& a, const Neighbor& b) {
+  if (a.squared_dist != b.squared_dist) {
+    return a.squared_dist < b.squared_dist;
+  }
+  return a.index < b.index;
+}
+}  // namespace
+
+void KdTree::search(std::int32_t node_id, std::span<const double> q,
+                    std::size_t k, std::vector<Neighbor>& heap) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  const double d2 = squared_distance(point(node.point), q);
+  const Neighbor candidate{node.point, d2};
+  if (heap.size() < k) {
+    heap.push_back(candidate);
+    std::push_heap(heap.begin(), heap.end(), heap_less);
+  } else if (heap_less(candidate, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), heap_less);
+    heap.back() = candidate;
+    std::push_heap(heap.begin(), heap.end(), heap_less);
+  }
+
+  const double delta = q[node.axis] - node.split;
+  const std::int32_t near = delta <= 0.0 ? node.left : node.right;
+  const std::int32_t far = delta <= 0.0 ? node.right : node.left;
+  search(near, q, k, heap);
+  if (heap.size() < k || delta * delta <= heap.front().squared_dist) {
+    search(far, q, k, heap);
+  }
+}
+
+std::vector<Neighbor> KdTree::query(std::span<const double> query,
+                                    std::size_t k) const {
+  BD_CHECK_MSG(!empty(), "query on an empty kd-tree");
+  BD_CHECK(query.size() == dim_);
+  k = std::min(k, count_);
+  BD_CHECK_MSG(k > 0, "k must be positive");
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  search(root_, query, k, heap);
+  std::sort_heap(heap.begin(), heap.end(), heap_less);
+  return heap;
+}
+
+}  // namespace bd::ml

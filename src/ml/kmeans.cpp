@@ -1,0 +1,257 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "ml/linalg.hpp"
+#include "util/check.hpp"
+
+namespace bd::ml {
+
+namespace {
+
+std::span<const double> point_at(std::span<const double> points,
+                                 std::size_t dim, std::size_t i) {
+  return points.subspan(i * dim, dim);
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to D².
+std::vector<double> kmeanspp_init(std::span<const double> points,
+                                  std::size_t count, std::size_t dim,
+                                  std::size_t k, util::Rng& rng) {
+  std::vector<double> centroids;
+  centroids.reserve(k * dim);
+  std::vector<double> d2(count, std::numeric_limits<double>::max());
+
+  std::size_t first = rng.uniform_index(count);
+  auto p0 = point_at(points, dim, first);
+  centroids.insert(centroids.end(), p0.begin(), p0.end());
+
+  for (std::size_t c = 1; c < k; ++c) {
+    auto last = std::span<const double>(centroids).subspan((c - 1) * dim, dim);
+    double total = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const double d = squared_distance(point_at(points, dim, i), last);
+      d2[i] = std::min(d2[i], d);
+      total += d2[i];
+    }
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      chosen = rng.uniform_index(count);
+    } else {
+      double target = rng.uniform() * total;
+      for (std::size_t i = 0; i < count; ++i) {
+        target -= d2[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    auto pc = point_at(points, dim, chosen);
+    centroids.insert(centroids.end(), pc.begin(), pc.end());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const double> points, std::size_t count,
+                    std::size_t dim, const KMeansConfig& config) {
+  BD_CHECK(dim > 0);
+  BD_CHECK_MSG(points.size() == count * dim, "points size mismatch");
+  const std::size_t k = config.clusters;
+  BD_CHECK_MSG(k >= 1 && k <= count, "clusters must be in [1, count]");
+
+  util::Rng rng(config.seed);
+  KMeansResult result;
+  result.centroids = kmeanspp_init(points, count, dim, k, rng);
+  result.assignment.assign(count, 0);
+  result.sizes.assign(k, 0);
+
+  const std::size_t capacity =
+      config.balanced ? (count + k - 1) / k : std::numeric_limits<std::size_t>::max();
+
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    std::fill(result.sizes.begin(), result.sizes.end(), 0u);
+    result.inertia = 0.0;
+
+    if (!config.balanced) {
+      for (std::size_t i = 0; i < count; ++i) {
+        auto p = point_at(points, dim, i);
+        double best = std::numeric_limits<double>::max();
+        std::uint32_t best_c = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+          auto centroid =
+              std::span<const double>(result.centroids).subspan(c * dim, dim);
+          const double d = squared_distance(p, centroid);
+          if (d < best) {
+            best = d;
+            best_c = static_cast<std::uint32_t>(c);
+          }
+        }
+        result.assignment[i] = best_c;
+        ++result.sizes[best_c];
+        result.inertia += best;
+      }
+    } else {
+      // Balanced assignment: process points in order of how much they care
+      // (max-min distance gap), each going to the nearest non-full cluster.
+      std::vector<std::size_t> order(count);
+      std::iota(order.begin(), order.end(), 0);
+      std::vector<double> urgency(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        double best = std::numeric_limits<double>::max();
+        double second = std::numeric_limits<double>::max();
+        for (std::size_t c = 0; c < k; ++c) {
+          auto centroid =
+              std::span<const double>(result.centroids).subspan(c * dim, dim);
+          const double d = squared_distance(point_at(points, dim, i), centroid);
+          if (d < best) {
+            second = best;
+            best = d;
+          } else if (d < second) {
+            second = d;
+          }
+        }
+        urgency[i] = second - best;
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return urgency[a] > urgency[b];
+                       });
+      std::vector<std::size_t> load(k, 0);
+      for (std::size_t oi : order) {
+        auto p = point_at(points, dim, oi);
+        double best = std::numeric_limits<double>::max();
+        std::uint32_t best_c = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+          if (load[c] >= capacity) continue;
+          auto centroid =
+              std::span<const double>(result.centroids).subspan(c * dim, dim);
+          const double d = squared_distance(p, centroid);
+          if (d < best) {
+            best = d;
+            best_c = static_cast<std::uint32_t>(c);
+          }
+        }
+        result.assignment[oi] = best_c;
+        ++load[best_c];
+        ++result.sizes[best_c];
+        result.inertia += best;
+      }
+    }
+
+    // Update step.
+    std::vector<double> sums(k * dim, 0.0);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto p = point_at(points, dim, i);
+      const std::uint32_t c = result.assignment[i];
+      for (std::size_t d = 0; d < dim; ++d) sums[c * dim + d] += p[d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (result.sizes[c] == 0) {
+        // Re-seed empty cluster from the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < count; ++i) {
+          auto centroid = std::span<const double>(result.centroids)
+                              .subspan(result.assignment[i] * dim, dim);
+          const double d = squared_distance(point_at(points, dim, i), centroid);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        auto p = point_at(points, dim, far);
+        std::copy(p.begin(), p.end(), result.centroids.begin() + static_cast<std::ptrdiff_t>(c * dim));
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c * dim + d] =
+            sums[c * dim + d] / static_cast<double>(result.sizes[c]);
+      }
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::max()) {
+      const double rel =
+          std::abs(prev_inertia - result.inertia) /
+          std::max(1e-30, prev_inertia);
+      if (rel < config.tolerance) break;
+    }
+    prev_inertia = result.inertia;
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> assign_balanced(std::span<const double> points,
+                                           std::size_t count, std::size_t dim,
+                                           std::span<const double> centroids,
+                                           std::size_t k,
+                                           std::size_t capacity) {
+  BD_CHECK(dim > 0 && points.size() == count * dim);
+  BD_CHECK(k >= 1 && centroids.size() == k * dim);
+  if (capacity == 0) capacity = count;
+  BD_CHECK_MSG(capacity * k >= count, "capacity too small to place all points");
+
+  std::vector<std::uint32_t> assignment(count, 0);
+  std::vector<double> urgency(count);
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    double best = std::numeric_limits<double>::max();
+    double second = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = squared_distance(point_at(points, dim, i),
+                                        centroids.subspan(c * dim, dim));
+      if (d < best) {
+        second = best;
+        best = d;
+      } else if (d < second) {
+        second = d;
+      }
+    }
+    urgency[i] = second - best;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return urgency[a] > urgency[b];
+                   });
+  std::vector<std::size_t> load(k, 0);
+  for (std::size_t oi : order) {
+    auto p = point_at(points, dim, oi);
+    double best = std::numeric_limits<double>::max();
+    std::uint32_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (load[c] >= capacity) continue;
+      const double d = squared_distance(p, centroids.subspan(c * dim, dim));
+      if (d < best) {
+        best = d;
+        best_c = static_cast<std::uint32_t>(c);
+      }
+    }
+    assignment[oi] = best_c;
+    ++load[best_c];
+  }
+  return assignment;
+}
+
+std::vector<std::vector<std::uint32_t>> members_by_cluster(
+    const KMeansResult& result, std::size_t clusters) {
+  std::vector<std::vector<std::uint32_t>> members(clusters);
+  for (std::size_t c = 0; c < clusters && c < result.sizes.size(); ++c) {
+    members[c].reserve(result.sizes[c]);
+  }
+  for (std::size_t i = 0; i < result.assignment.size(); ++i) {
+    const std::uint32_t c = result.assignment[i];
+    BD_CHECK(c < clusters);
+    members[c].push_back(static_cast<std::uint32_t>(i));
+  }
+  return members;
+}
+
+}  // namespace bd::ml

@@ -1,0 +1,57 @@
+#pragma once
+/// \file kmeans.hpp
+/// k-means clustering (k-means++ initialization, Lloyd iterations) — the
+/// paper's RP-CLUSTERING groups grid points by access-pattern similarity.
+/// The paper notes k-means "prefers clusters of approximately similar size";
+/// a balanced assignment option enforces a hard per-cluster capacity so
+/// clusters map cleanly onto fixed-size thread blocks.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bd::ml {
+
+/// k-means hyperparameters.
+struct KMeansConfig {
+  std::size_t clusters = 8;
+  std::size_t max_iterations = 25;
+  double tolerance = 1e-6;       ///< relative inertia improvement to stop
+  bool balanced = false;         ///< enforce ceil(n/k) capacity per cluster
+  std::uint64_t seed = 1234;
+};
+
+/// Clustering result.
+struct KMeansResult {
+  std::vector<std::uint32_t> assignment;  ///< point -> cluster
+  std::vector<double> centroids;          ///< clusters x dim, row-major
+  std::vector<std::uint32_t> sizes;       ///< points per cluster
+  double inertia = 0.0;                   ///< sum of squared distances
+  std::size_t iterations = 0;
+};
+
+/// Cluster `count` points of dimension `dim` (row-major in `points`).
+/// Deterministic for a fixed seed. Empty clusters are re-seeded from the
+/// farthest point. Requires count >= clusters >= 1.
+KMeansResult kmeans(std::span<const double> points, std::size_t count,
+                    std::size_t dim, const KMeansConfig& config);
+
+/// Group point indices by cluster (cluster id -> member list), preserving
+/// point order within each cluster.
+std::vector<std::vector<std::uint32_t>> members_by_cluster(
+    const KMeansResult& result, std::size_t clusters);
+
+/// Capacity-constrained assignment of points to fixed centroids: points
+/// are processed in order of decreasing urgency (gap between their best
+/// and second-best centroid) and go to the nearest centroid with room.
+/// Used to balance clusters trained on a subsample across the full point
+/// set. Capacity 0 means unconstrained nearest-centroid assignment.
+std::vector<std::uint32_t> assign_balanced(std::span<const double> points,
+                                           std::size_t count, std::size_t dim,
+                                           std::span<const double> centroids,
+                                           std::size_t k,
+                                           std::size_t capacity);
+
+}  // namespace bd::ml

@@ -1,0 +1,90 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/linalg.hpp"
+#include "util/check.hpp"
+
+namespace bd::ml {
+
+void KNNRegressor::fit(const Dataset& data) {
+  BD_CHECK_MSG(!data.empty(), "kNN fit on empty dataset");
+  train_ = data;
+  if (config_.standardize) {
+    scaler_.fit(train_);
+  }
+  if (config_.use_kdtree) {
+    scaled_features_.clear();
+    scaled_features_.reserve(train_.size() * train_.feature_dim());
+    for (std::size_t i = 0; i < train_.size(); ++i) {
+      auto row = train_.features(i);
+      std::vector<double> f(row.begin(), row.end());
+      if (config_.standardize) scaler_.transform(f);
+      scaled_features_.insert(scaled_features_.end(), f.begin(), f.end());
+    }
+    tree_.build(scaled_features_, train_.size(), train_.feature_dim());
+  }
+}
+
+void KNNRegressor::predict_into(std::span<const double> features,
+                                std::span<double> out) const {
+  BD_CHECK_MSG(fitted(), "predict before fit");
+  BD_CHECK(features.size() == train_.feature_dim());
+  BD_CHECK(out.size() == train_.target_dim());
+
+  std::vector<double> query(features.begin(), features.end());
+  if (config_.standardize) scaler_.transform(query);
+
+  std::vector<Neighbor> neighbors;
+  if (config_.use_kdtree) {
+    neighbors = tree_.query(query, config_.k);
+  } else {
+    neighbors.reserve(train_.size());
+    for (std::size_t i = 0; i < train_.size(); ++i) {
+      auto row = train_.features(i);
+      std::vector<double> f(row.begin(), row.end());
+      if (config_.standardize) scaler_.transform(f);
+      neighbors.push_back(Neighbor{i, squared_distance(f, query)});
+    }
+    const std::size_t k = std::min(config_.k, neighbors.size());
+    std::partial_sort(neighbors.begin(), neighbors.begin() + static_cast<std::ptrdiff_t>(k),
+                      neighbors.end(), [](const Neighbor& a, const Neighbor& b) {
+                        if (a.squared_dist != b.squared_dist) {
+                          return a.squared_dist < b.squared_dist;
+                        }
+                        return a.index < b.index;
+                      });
+    neighbors.resize(k);
+  }
+
+  std::fill(out.begin(), out.end(), 0.0);
+  double weight_sum = 0.0;
+  for (const Neighbor& n : neighbors) {
+    double w = 1.0;
+    if (config_.distance_weighted) {
+      const double d = std::sqrt(n.squared_dist);
+      if (d < 1e-12) {
+        // Exact match: return its target directly.
+        const auto target = train_.targets(n.index);
+        std::copy(target.begin(), target.end(), out.begin());
+        return;
+      }
+      w = 1.0 / d;
+    }
+    const auto target = train_.targets(n.index);
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += w * target[c];
+    weight_sum += w;
+  }
+  BD_CHECK(weight_sum > 0.0);
+  for (double& v : out) v /= weight_sum;
+}
+
+std::vector<double> KNNRegressor::predict(
+    std::span<const double> features) const {
+  std::vector<double> out(train_.target_dim());
+  predict_into(features, out);
+  return out;
+}
+
+}  // namespace bd::ml

@@ -1,0 +1,70 @@
+#include "ml/online.hpp"
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace bd::ml {
+
+OnlinePredictor::OnlinePredictor(PredictorKind kind, std::size_t feature_dim,
+                                 std::size_t target_dim, std::size_t window,
+                                 KnnConfig knn, LinRegConfig ridge)
+    : kind_(kind),
+      feature_dim_(feature_dim),
+      target_dim_(target_dim),
+      window_(window),
+      knn_config_(knn),
+      ridge_config_(ridge) {
+  BD_CHECK(feature_dim > 0 && target_dim > 0 && window > 0);
+  history_.resize(window_, Dataset(feature_dim_, target_dim_));
+}
+
+void OnlinePredictor::observe_step(std::span<const double> features,
+                                   std::span<const double> targets,
+                                   std::size_t count) {
+  BD_CHECK(features.size() == count * feature_dim_);
+  BD_CHECK(targets.size() == count * target_dim_);
+  Dataset& slot = history_[next_slot_];
+  slot.clear();
+  slot.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    slot.add(features.subspan(i * feature_dim_, feature_dim_),
+             targets.subspan(i * target_dim_, target_dim_));
+  }
+  next_slot_ = (next_slot_ + 1) % window_;
+  ++steps_seen_;
+  refit();
+}
+
+void OnlinePredictor::refit() {
+  util::WallTimer timer;
+  Dataset merged(feature_dim_, target_dim_);
+  std::size_t total = 0;
+  const std::size_t used = std::min(steps_seen_, window_);
+  for (std::size_t w = 0; w < used; ++w) total += history_[w].size();
+  merged.reserve(total);
+  for (std::size_t w = 0; w < used; ++w) {
+    const Dataset& d = history_[w];
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      merged.add(d.features(i), d.targets(i));
+    }
+  }
+  if (merged.empty()) return;
+  switch (kind_) {
+    case PredictorKind::kKnn:
+      model_ = std::make_unique<KnnModel>(knn_config_);
+      break;
+    case PredictorKind::kRidge:
+      model_ = std::make_unique<RidgeModel>(ridge_config_);
+      break;
+  }
+  model_->fit(merged);
+  last_train_seconds_ = timer.seconds();
+}
+
+void OnlinePredictor::predict_into(std::span<const double> features,
+                                   std::span<double> out) const {
+  BD_CHECK_MSG(ready(), "predictor not trained yet");
+  model_->predict_into(features, out);
+}
+
+}  // namespace bd::ml

@@ -1,0 +1,112 @@
+#pragma once
+/// \file online.hpp
+/// Online predictor: a supervised model retrained each simulation step
+/// from a sliding window of recently observed (grid point → access pattern)
+/// examples. This realizes the paper's ONLINE-LEARNING procedure: the
+/// predictor g_k is learned from the patterns observed at step k (plus a
+/// short window of history) without unbounded memory growth.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/knn.hpp"
+#include "ml/linreg.hpp"
+
+namespace bd::ml {
+
+/// Uniform interface over the interchangeable predictors.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void fit(const Dataset& data) = 0;
+  virtual void predict_into(std::span<const double> features,
+                            std::span<double> out) const = 0;
+  virtual bool fitted() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// kNN-backed Regressor.
+class KnnModel final : public Regressor {
+ public:
+  explicit KnnModel(KnnConfig config = {}) : impl_(config) {}
+  void fit(const Dataset& data) override { impl_.fit(data); }
+  void predict_into(std::span<const double> features,
+                    std::span<double> out) const override {
+    impl_.predict_into(features, out);
+  }
+  bool fitted() const override { return impl_.fitted(); }
+  const char* name() const override { return "knn"; }
+
+ private:
+  KNNRegressor impl_;
+};
+
+/// Ridge-regression-backed Regressor.
+class RidgeModel final : public Regressor {
+ public:
+  explicit RidgeModel(LinRegConfig config = {}) : impl_(config) {}
+  void fit(const Dataset& data) override { impl_.fit(data); }
+  void predict_into(std::span<const double> features,
+                    std::span<double> out) const override {
+    impl_.predict_into(features, out);
+  }
+  bool fitted() const override { return impl_.fitted(); }
+  const char* name() const override { return "ridge"; }
+
+ private:
+  RidgeRegressor impl_;
+};
+
+/// Which predictor to instantiate.
+enum class PredictorKind { kKnn, kRidge };
+
+/// Sliding-window online trainer around a Regressor.
+class OnlinePredictor {
+ public:
+  /// \param window number of most recent steps whose observations are kept
+  ///        as training data (the paper uses the latest observations plus
+  ///        the previous predictor; window=1 reproduces that memory bound).
+  OnlinePredictor(PredictorKind kind, std::size_t feature_dim,
+                  std::size_t target_dim, std::size_t window = 1,
+                  KnnConfig knn = {}, LinRegConfig ridge = {});
+
+  /// Ingest one step's observations and refit the model.
+  /// `features`/`targets` are row-major with the constructor's dims.
+  void observe_step(std::span<const double> features,
+                    std::span<const double> targets, std::size_t count);
+
+  /// Forecast the access pattern for one grid point. Requires ready().
+  void predict_into(std::span<const double> features,
+                    std::span<double> out) const;
+
+  /// True once at least one step has been observed.
+  bool ready() const { return model_ && model_->fitted(); }
+
+  std::size_t feature_dim() const { return feature_dim_; }
+  std::size_t target_dim() const { return target_dim_; }
+  std::size_t window() const { return window_; }
+  const char* model_name() const { return model_ ? model_->name() : "none"; }
+
+  /// Seconds spent in the most recent refit (model training cost — the
+  /// paper's Table II reports this overhead).
+  double last_train_seconds() const { return last_train_seconds_; }
+
+ private:
+  void refit();
+
+  PredictorKind kind_;
+  std::size_t feature_dim_;
+  std::size_t target_dim_;
+  std::size_t window_;
+  KnnConfig knn_config_;
+  LinRegConfig ridge_config_;
+  std::unique_ptr<Regressor> model_;
+  std::vector<Dataset> history_;  // ring of recent step datasets
+  std::size_t next_slot_ = 0;
+  std::size_t steps_seen_ = 0;
+  double last_train_seconds_ = 0.0;
+};
+
+}  // namespace bd::ml

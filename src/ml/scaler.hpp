@@ -1,0 +1,41 @@
+#pragma once
+/// \file scaler.hpp
+/// Feature standardization (zero mean, unit variance per column). kNN is
+/// distance-based, so features on different scales (grid index vs time)
+/// must be normalized before training.
+
+#include <span>
+#include <vector>
+
+namespace bd::ml {
+
+class Dataset;
+
+/// Per-column standardizer: z = (x - mean) / std.
+class StandardScaler {
+ public:
+  /// Fit means/stds from the dataset's features.
+  void fit(const Dataset& data);
+
+  /// Fit from raw rows.
+  void fit_rows(std::span<const double> rows, std::size_t dim);
+
+  /// Transform one feature vector in place.
+  void transform(std::span<double> features) const;
+
+  /// Transform into a new vector.
+  std::vector<double> transformed(std::span<const double> features) const;
+
+  /// Inverse transform (for reporting).
+  void inverse_transform(std::span<double> features) const;
+
+  bool fitted() const { return !means_.empty(); }
+  std::span<const double> means() const { return means_; }
+  std::span<const double> stds() const { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace bd::ml

@@ -1,0 +1,78 @@
+#include "quad/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quad/simpson.hpp"
+#include "util/check.hpp"
+
+namespace bd::quad {
+
+namespace {
+constexpr std::uint32_t kLoopSite = simt::site_id("quad/adaptive/worklist");
+constexpr std::uint32_t kBranchSite = simt::site_id("quad/adaptive/accept");
+
+struct WorkItem {
+  double a;
+  double b;
+  double tol;
+  int depth;
+};
+}  // namespace
+
+AdaptiveResult adaptive_simpson(const RadialIntegrand& f, double a, double b,
+                                double tol, simt::LaneProbe& probe,
+                                const AdaptiveOptions& options) {
+  BD_CHECK_MSG(tol > 0.0, "tolerance must be positive");
+  AdaptiveResult result;
+  if (a == b) {
+    result.breakpoints = {a, b};
+    return result;
+  }
+  BD_CHECK_MSG(a < b, "interval must be ordered");
+
+  std::vector<WorkItem> stack;
+  stack.push_back(WorkItem{a, b, tol, 0});
+  std::vector<double> interior;  // accepted breakpoints (excluding a, b)
+
+  std::uint64_t trips = 0;
+  std::uint64_t intervals_created = 1;
+
+  while (!stack.empty()) {
+    ++trips;
+    const WorkItem item = stack.back();
+    stack.pop_back();
+
+    const QuadEstimate est = simpson_estimate(f, item.a, item.b, probe);
+    result.evaluations += est.evaluations;
+
+    const bool accept = est.error <= item.tol ||
+                        item.depth >= options.max_depth ||
+                        intervals_created >= options.max_intervals;
+    probe.branch(kBranchSite, accept);
+
+    if (accept) {
+      if (est.error > item.tol) result.converged = false;
+      result.integral += est.integral;
+      result.error += est.error;
+      if (item.a != a) interior.push_back(item.a);
+    } else {
+      const double m = 0.5 * (item.a + item.b);
+      // LIFO order keeps the scan depth-first, left to right.
+      stack.push_back(WorkItem{m, item.b, 0.5 * item.tol, item.depth + 1});
+      stack.push_back(WorkItem{item.a, m, 0.5 * item.tol, item.depth + 1});
+      ++intervals_created;
+      probe.count_flops(4);
+    }
+  }
+  probe.loop_trip(kLoopSite, trips);
+
+  std::sort(interior.begin(), interior.end());
+  result.breakpoints.reserve(interior.size() + 2);
+  result.breakpoints.push_back(a);
+  for (double x : interior) result.breakpoints.push_back(x);
+  result.breakpoints.push_back(b);
+  return result;
+}
+
+}  // namespace bd::quad

@@ -1,0 +1,42 @@
+#pragma once
+/// \file adaptive.hpp
+/// Stack-based adaptive Simpson quadrature — the RP-ADAPTIVEQUADRATURE of
+/// the paper. In addition to the integral/error estimates it returns the
+/// partition it generated along the outer dimension (the breakpoints) so
+/// callers can log the observed data-access pattern for the online learner.
+
+#include <cstdint>
+#include <vector>
+
+#include "quad/integrand.hpp"
+#include "quad/rule.hpp"
+#include "simt/probe.hpp"
+
+namespace bd::quad {
+
+/// Tunables for the adaptive driver.
+struct AdaptiveOptions {
+  int max_depth = 30;           ///< bisection depth limit
+  std::uint64_t max_intervals = 1u << 20;  ///< interval budget safety net
+};
+
+/// Result of adaptive integration over one interval.
+struct AdaptiveResult {
+  double integral = 0.0;
+  double error = 0.0;               ///< accumulated error estimate
+  std::uint64_t evaluations = 0;    ///< integrand evaluations
+  bool converged = true;            ///< false if a budget/depth limit hit
+  std::vector<double> breakpoints;  ///< sorted partition incl. both endpoints
+};
+
+/// Adaptively integrate `f` over [a, b] to absolute tolerance `tol`.
+/// Tolerance is distributed proportionally to subinterval width so the
+/// total error is bounded by `tol` (the classic adaptive-Simpson policy;
+/// identical to the control flow the paper's GPU fallback kernel executes).
+/// Loop trip counts and branches are reported through `probe` so the SIMT
+/// model sees this routine's data-dependent control flow.
+AdaptiveResult adaptive_simpson(const RadialIntegrand& f, double a, double b,
+                                double tol, simt::LaneProbe& probe,
+                                const AdaptiveOptions& options = {});
+
+}  // namespace bd::quad

@@ -1,0 +1,23 @@
+#pragma once
+/// \file rule.hpp
+/// Common result type for quadrature rule applications.
+
+#include <cstdint>
+
+namespace bd::quad {
+
+/// Integral estimate with an error estimate and evaluation count.
+struct QuadEstimate {
+  double integral = 0.0;
+  double error = 0.0;           ///< estimated absolute error
+  std::uint64_t evaluations = 0; ///< integrand evaluations consumed
+
+  QuadEstimate& operator+=(const QuadEstimate& other) {
+    integral += other.integral;
+    error += other.error;
+    evaluations += other.evaluations;
+    return *this;
+  }
+};
+
+}  // namespace bd::quad

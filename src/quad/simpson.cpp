@@ -1,0 +1,39 @@
+#include "quad/simpson.hpp"
+
+#include <cmath>
+
+namespace bd::quad {
+
+double simpson_value(const RadialIntegrand& f, double a, double b,
+                     simt::LaneProbe& probe) {
+  const double m = 0.5 * (a + b);
+  const double value =
+      (b - a) / 6.0 * (f.eval(a, probe) + 4.0 * f.eval(m, probe) +
+                       f.eval(b, probe));
+  probe.count_flops(6);
+  return value;
+}
+
+QuadEstimate simpson_estimate(const RadialIntegrand& f, double a, double b,
+                              simt::LaneProbe& probe) {
+  const double m = 0.5 * (a + b);
+  const double fa = f.eval(a, probe);
+  const double fm = f.eval(m, probe);
+  const double fb = f.eval(b, probe);
+  const double fl = f.eval(0.5 * (a + m), probe);
+  const double fr = f.eval(0.5 * (m + b), probe);
+
+  const double h = b - a;
+  const double coarse = h / 6.0 * (fa + 4.0 * fm + fb);
+  const double fine =
+      h / 12.0 * (fa + 4.0 * fl + 2.0 * fm + 4.0 * fr + fb);
+  probe.count_flops(18);
+
+  QuadEstimate est;
+  est.error = std::abs(fine - coarse) / 15.0;
+  est.integral = fine + (fine - coarse) / 15.0;
+  est.evaluations = 5;
+  return est;
+}
+
+}  // namespace bd::quad

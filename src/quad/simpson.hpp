@@ -1,0 +1,24 @@
+#pragma once
+/// \file simpson.hpp
+/// Simpson quadrature rule with a Richardson error estimate — the
+/// RP-QUADRULE of the paper (Listing 1): estimates the rp-integral along
+/// one outer subregion, evaluating the inner integral at 5 radii.
+
+#include "quad/integrand.hpp"
+#include "quad/rule.hpp"
+#include "simt/probe.hpp"
+
+namespace bd::quad {
+
+/// Simpson estimate over [a, b]: compares S(a,b) against
+/// S(a,m) + S(m,b) and uses the standard |S2 - S1| / 15 error bound, with
+/// the Richardson-extrapolated value returned as the integral.
+/// Costs 5 integrand evaluations.
+QuadEstimate simpson_estimate(const RadialIntegrand& f, double a, double b,
+                              simt::LaneProbe& probe);
+
+/// Plain (non-extrapolated) 3-point Simpson value over [a, b].
+double simpson_value(const RadialIntegrand& f, double a, double b,
+                     simt::LaneProbe& probe);
+
+}  // namespace bd::quad

@@ -1,0 +1,72 @@
+#pragma once
+/// \file device.hpp
+/// Device specification for the SIMT execution model. Defaults describe the
+/// NVIDIA Tesla K40 the paper evaluates on (Kepler GK110B, "caching mode":
+/// global loads cached in both L1 and L2).
+
+#include <cstdint>
+#include <string>
+
+namespace bd::simt {
+
+/// Static hardware parameters consumed by the cache model, the coalescer and
+/// the roofline time model.
+struct DeviceSpec {
+  std::string name = "Tesla K40 (modeled)";
+
+  // Execution resources.
+  std::uint32_t num_sms = 15;          ///< GK110B streaming multiprocessors.
+  std::uint32_t warp_size = 32;        ///< SIMD width.
+  std::uint32_t max_threads_per_block = 1024;
+  /// Warps concurrently resident per SM (register/occupancy limited for
+  /// these double-precision kernels: 16 warps ≈ 50% occupancy on GK110B).
+  /// Resident warps' memory streams interleave in the shared L1 — the
+  /// effect that rewards inter-warp data locality and punishes scatter.
+  std::uint32_t resident_warps_per_sm = 16;
+
+  // Memory hierarchy (caching mode: 48 KB L1 per SM).
+  std::uint32_t l1_bytes = 48 * 1024;  ///< per-SM L1 capacity.
+  std::uint32_t l1_line_bytes = 128;   ///< L1/global-load transaction size.
+  std::uint32_t l1_ways = 6;           ///< modeled associativity.
+  std::uint32_t l2_bytes = 1536 * 1024;///< shared L2 capacity.
+  std::uint32_t l2_line_bytes = 32;    ///< L2/DRAM sector size.
+  std::uint32_t l2_ways = 16;          ///< modeled associativity.
+
+  // Roofline parameters.
+  double peak_dp_gflops = 1430.0;      ///< K40 peak double precision.
+  double theoretical_bw_gbs = 288.0;   ///< spec-sheet DRAM bandwidth.
+  double measured_bw_gbs = 200.0;      ///< SDK bandwidthTest value (paper §V-B1).
+  /// Aggregate L1/tex transaction bandwidth: one 128 B line per cycle per
+  /// SM (15 SMs × 745 MHz × 128 B ≈ 1.4 TB/s). Poorly coalesced kernels
+  /// pay this even when the data is cache-resident.
+  double l1_bw_gbs = 1400.0;
+  /// Aggregate L2 bandwidth (GK110B ≈ 750 GB/s).
+  double l2_bw_gbs = 750.0;
+
+  /// Fraction of peak issue rate a real kernel sustains on the DP pipes
+  /// (dual-issue limits, dependency stalls, non-FMA mix). Calibrated so a
+  /// divergence-free kernel lands at the paper's measured ~485 GFlop/s
+  /// plateau (0.35 × 1430 GF × ~97% warp efficiency ≈ 485).
+  double issue_efficiency = 0.35;
+
+  /// Derived: AI (flops/byte) at which compute and memory rooflines meet.
+  double ridge_ai() const { return peak_dp_gflops / measured_bw_gbs; }
+};
+
+/// The default modeled device (Tesla K40).
+inline DeviceSpec tesla_k40() { return DeviceSpec{}; }
+
+/// A deliberately tiny device for unit tests (small caches, 1 SM) so tests
+/// can exercise capacity evictions with few accesses.
+inline DeviceSpec test_device() {
+  DeviceSpec d;
+  d.name = "test-device";
+  d.num_sms = 2;
+  d.l1_bytes = 1024;       // 8 lines of 128 B
+  d.l1_ways = 2;
+  d.l2_bytes = 4096;       // 128 lines of 32 B
+  d.l2_ways = 4;
+  return d;
+}
+
+}  // namespace bd::simt

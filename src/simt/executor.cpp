@@ -1,0 +1,84 @@
+#include "simt/executor.hpp"
+
+#include <vector>
+
+#include "simt/trace.hpp"
+#include "simt/warp.hpp"
+#include "util/check.hpp"
+
+namespace bd::simt {
+
+KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
+                     const KernelFn& kernel) {
+  BD_CHECK_MSG(config.num_blocks > 0, "launch needs at least one block");
+  BD_CHECK_MSG(config.threads_per_block > 0 &&
+                   config.threads_per_block <= spec.max_threads_per_block,
+               "threads per block out of range");
+  BD_CHECK(kernel != nullptr);
+
+  // Per-SM private L1 caches; one shared L2.
+  std::vector<SetAssocCache> l1_caches;
+  l1_caches.reserve(spec.num_sms);
+  for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
+    l1_caches.emplace_back(spec.l1_bytes, spec.l1_line_bytes, spec.l1_ways);
+  }
+  SetAssocCache l2(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways);
+
+  KernelMetrics metrics;
+  metrics.warp_size = spec.warp_size;
+
+  const std::uint32_t warps_per_block =
+      (config.threads_per_block + spec.warp_size - 1) / spec.warp_size;
+  const std::uint32_t resident = std::max<std::uint32_t>(
+      1, spec.resident_warps_per_sm / warps_per_block);
+
+  // Reusable lane traces for one warp.
+  std::vector<LaneTrace> traces(spec.warp_size);
+
+  // Blocks are distributed round-robin over SMs (block b runs on SM
+  // b % num_sms). On each SM, groups of `resident` consecutive blocks are
+  // co-resident: their warps' memory streams interleave in the private L1.
+  for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
+    SetAssocCache& l1 = l1_caches[sm];
+    std::vector<std::uint32_t> my_blocks;
+    for (std::uint32_t block = sm; block < config.num_blocks;
+         block += spec.num_sms) {
+      my_blocks.push_back(block);
+    }
+    for (std::size_t chunk = 0; chunk < my_blocks.size();
+         chunk += resident) {
+      const std::size_t chunk_end =
+          std::min(my_blocks.size(), chunk + resident);
+      std::vector<WarpReplay> replays;
+      replays.reserve((chunk_end - chunk) * warps_per_block);
+      for (std::size_t bi = chunk; bi < chunk_end; ++bi) {
+        const std::uint32_t block = my_blocks[bi];
+        for (std::uint32_t warp = 0; warp < warps_per_block; ++warp) {
+          const std::uint32_t lane_begin = warp * spec.warp_size;
+          const std::uint32_t lane_end = std::min(
+              lane_begin + spec.warp_size, config.threads_per_block);
+          std::vector<const LaneTrace*> warp_traces;
+          warp_traces.reserve(lane_end - lane_begin);
+          for (std::uint32_t t = lane_begin; t < lane_end; ++t) {
+            LaneTrace& trace = traces[t - lane_begin];
+            trace.reset();
+            ThreadCtx ctx;
+            ctx.block_id = block;
+            ctx.thread_id = t;
+            ctx.global_id = block * config.threads_per_block + t;
+            kernel(ctx, trace);
+            warp_traces.push_back(&trace);
+          }
+          replays.push_back(
+              analyze_warp_groups(warp_traces, spec, metrics));
+        }
+      }
+      replay_interleaved(replays, spec, l1, l2, metrics);
+    }
+  }
+
+  apply_time_model(metrics, spec);
+  return metrics;
+}
+
+}  // namespace bd::simt

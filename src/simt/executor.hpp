@@ -1,0 +1,44 @@
+#pragma once
+/// \file executor.hpp
+/// SIMT executor: runs a per-thread kernel function over a (blocks × threads)
+/// launch grid on the host while modeling GPU execution. Each lane records a
+/// trace; warps are analyzed for divergence and their memory traffic is
+/// replayed through per-SM L1 caches and the shared L2. Blocks are assigned
+/// to SMs round-robin, matching the hardware's greedy block scheduler
+/// closely enough for aggregate cache statistics.
+
+#include <cstdint>
+#include <functional>
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+#include "simt/probe.hpp"
+#include "simt/timemodel.hpp"
+
+namespace bd::simt {
+
+/// Kernel launch geometry.
+struct LaunchConfig {
+  std::uint32_t num_blocks = 1;
+  std::uint32_t threads_per_block = 32;
+};
+
+/// Identity of the executing thread, mirroring blockIdx/threadIdx.
+struct ThreadCtx {
+  std::uint32_t block_id = 0;
+  std::uint32_t thread_id = 0;   ///< within the block
+  std::uint32_t global_id = 0;   ///< block_id * threads_per_block + thread_id
+};
+
+/// The kernel body: executed once per thread with its private probe.
+using KernelFn = std::function<void(const ThreadCtx&, LaneProbe&)>;
+
+/// Execute the kernel under the SIMT model and return profiler-style
+/// metrics with the modeled kernel time already applied.
+///
+/// Deterministic: identical inputs produce identical metrics (blocks are
+/// processed in a fixed SM-major order).
+KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
+                     const KernelFn& kernel);
+
+}  // namespace bd::simt

@@ -1,0 +1,38 @@
+#pragma once
+/// \file report.hpp
+/// Profiler-style report rendering: formats KernelMetrics the way the
+/// NVIDIA profiler presents them (the source of the paper's Table I), and
+/// side-by-side comparisons of several kernels.
+
+#include <string>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+#include "simt/timemodel.hpp"
+
+namespace bd::simt {
+
+/// One named kernel measurement for a comparison report.
+struct KernelReportEntry {
+  std::string name;
+  KernelMetrics metrics;
+};
+
+/// Render a profiler-like single-kernel report: metric name, value, and
+/// the hardware context (roofline position, binding resource).
+std::string profiler_report(const std::string& kernel_name,
+                            const KernelMetrics& metrics,
+                            const DeviceSpec& spec);
+
+/// Render a side-by-side comparison table of several kernels (one column
+/// per kernel), the layout of the paper's Table I.
+std::string comparison_report(const std::vector<KernelReportEntry>& kernels,
+                              const DeviceSpec& spec);
+
+/// Short classification of what bounds the kernel ("compute-bound",
+/// "L1-bandwidth-bound", "L2-bandwidth-bound", "DRAM-bound").
+std::string binding_resource(const KernelMetrics& metrics,
+                             const DeviceSpec& spec);
+
+}  // namespace bd::simt

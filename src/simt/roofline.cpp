@@ -1,0 +1,47 @@
+#include "simt/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace bd::simt {
+
+double attainable_gflops(const DeviceSpec& spec, double ai) {
+  return std::min(spec.peak_dp_gflops, ai * spec.measured_bw_gbs);
+}
+
+double attainable_gflops_theoretical(const DeviceSpec& spec, double ai) {
+  return std::min(spec.peak_dp_gflops, ai * spec.theoretical_bw_gbs);
+}
+
+RooflinePoint make_point(const std::string& label, const KernelMetrics& m,
+                         const DeviceSpec& spec) {
+  RooflinePoint p;
+  p.label = label;
+  p.arithmetic_intensity = m.arithmetic_intensity();
+  p.gflops = m.gflops();
+  p.attainable_gflops = attainable_gflops(spec, p.arithmetic_intensity);
+  p.roof_fraction =
+      p.attainable_gflops > 0.0 ? p.gflops / p.attainable_gflops : 0.0;
+  return p;
+}
+
+std::vector<RooflineSample> sample_roofline(const DeviceSpec& spec,
+                                            double ai_min, double ai_max,
+                                            int count) {
+  BD_CHECK(ai_min > 0.0 && ai_max > ai_min && count >= 2);
+  std::vector<RooflineSample> samples;
+  samples.reserve(static_cast<std::size_t>(count));
+  const double log_lo = std::log2(ai_min);
+  const double log_hi = std::log2(ai_max);
+  for (int i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / (count - 1);
+    const double ai = std::exp2(log_lo + t * (log_hi - log_lo));
+    samples.push_back(RooflineSample{ai, attainable_gflops(spec, ai),
+                                     attainable_gflops_theoretical(spec, ai)});
+  }
+  return samples;
+}
+
+}  // namespace bd::simt

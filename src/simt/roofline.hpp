@@ -1,0 +1,45 @@
+#pragma once
+/// \file roofline.hpp
+/// Roofline model utilities (Fig. 4): attainable performance as a function
+/// of arithmetic intensity, plus kernel operating points.
+
+#include <string>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+
+namespace bd::simt {
+
+/// A kernel's operating point on the roofline plot.
+struct RooflinePoint {
+  std::string label;
+  double arithmetic_intensity = 0.0;  ///< flops / DRAM byte
+  double gflops = 0.0;                ///< achieved performance
+  double attainable_gflops = 0.0;     ///< roof at this AI
+  double roof_fraction = 0.0;         ///< achieved / attainable
+};
+
+/// Attainable GFlop/s at arithmetic intensity `ai` using the *measured*
+/// bandwidth roof: min(peak, ai * measured_bw).
+double attainable_gflops(const DeviceSpec& spec, double ai);
+
+/// Attainable using the theoretical (spec-sheet) bandwidth roof.
+double attainable_gflops_theoretical(const DeviceSpec& spec, double ai);
+
+/// Build the operating point for a measured kernel.
+RooflinePoint make_point(const std::string& label, const KernelMetrics& m,
+                         const DeviceSpec& spec);
+
+/// Sample the roofline curve at log-spaced AI values in [ai_min, ai_max];
+/// used by the Fig. 4 bench to print the roof alongside kernel points.
+struct RooflineSample {
+  double ai;
+  double roof_measured;
+  double roof_theoretical;
+};
+std::vector<RooflineSample> sample_roofline(const DeviceSpec& spec,
+                                            double ai_min, double ai_max,
+                                            int count);
+
+}  // namespace bd::simt

@@ -1,0 +1,35 @@
+#include "simt/timemodel.hpp"
+
+#include <algorithm>
+
+namespace bd::simt {
+
+TimeBreakdown model_time(const KernelMetrics& metrics,
+                         const DeviceSpec& spec) {
+  TimeBreakdown tb;
+  const double warp_eff = std::max(1e-6, metrics.warp_execution_efficiency());
+  const double effective_gflops =
+      spec.peak_dp_gflops * spec.issue_efficiency * warp_eff;
+  tb.compute_seconds =
+      static_cast<double>(metrics.flops) / (effective_gflops * 1e9);
+  tb.l1_seconds =
+      static_cast<double>(metrics.bytes_transferred) / (spec.l1_bw_gbs * 1e9);
+  tb.l2_seconds =
+      static_cast<double>(metrics.l1.misses) * spec.l1_line_bytes /
+      (spec.l2_bw_gbs * 1e9);
+  tb.memory_seconds =
+      static_cast<double>(metrics.dram_bytes) / (spec.measured_bw_gbs * 1e9);
+  tb.total_seconds = std::max({tb.compute_seconds, tb.l1_seconds,
+                               tb.l2_seconds, tb.memory_seconds});
+  tb.memory_bound = tb.total_seconds > tb.compute_seconds;
+  return tb;
+}
+
+TimeBreakdown apply_time_model(KernelMetrics& metrics,
+                               const DeviceSpec& spec) {
+  const TimeBreakdown tb = model_time(metrics, spec);
+  metrics.modeled_seconds = tb.total_seconds;
+  return tb;
+}
+
+}  // namespace bd::simt

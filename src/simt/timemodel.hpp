@@ -1,0 +1,37 @@
+#pragma once
+/// \file timemodel.hpp
+/// Roofline-based kernel time model: a kernel finishes when both its compute
+/// work (at divergence-degraded issue rate) and its DRAM traffic (at the
+/// measured bandwidth) are done; the slower leg bounds the time. The paper's
+/// kernels are memory-bound on the K40 (Table I GFlop/s ≈ AI × measured BW),
+/// which this model reproduces.
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+
+namespace bd::simt {
+
+/// Breakdown of the modeled kernel time. Four concurrent legs; the slowest
+/// bounds the kernel:
+///  * compute   — flops at the divergence-degraded issue rate
+///  * L1        — line transactions through the L1/tex path (this is where
+///                uncoalesced access costs show up even when cache-resident)
+///  * L2        — L1-miss line traffic through the shared L2
+///  * DRAM      — L2-miss sector traffic at the measured DRAM bandwidth
+struct TimeBreakdown {
+  double compute_seconds = 0.0;
+  double l1_seconds = 0.0;
+  double l2_seconds = 0.0;
+  double memory_seconds = 0.0;   ///< DRAM leg
+  double total_seconds = 0.0;    ///< max of all legs
+  bool memory_bound = false;     ///< any memory leg is the binding one
+};
+
+/// Compute the modeled time for the given counters on the given device.
+TimeBreakdown model_time(const KernelMetrics& metrics, const DeviceSpec& spec);
+
+/// Convenience: compute the model and store total_seconds into
+/// metrics.modeled_seconds. Returns the breakdown.
+TimeBreakdown apply_time_model(KernelMetrics& metrics, const DeviceSpec& spec);
+
+}  // namespace bd::simt

@@ -1,0 +1,18 @@
+#include "simt/trace.hpp"
+
+namespace bd::simt {
+
+void LaneTrace::reset() {
+  flops_ = 0;
+  loads_.clear();
+  loops_.clear();
+  branches_.clear();
+}
+
+std::size_t LaneTrace::footprint_bytes() const {
+  return loads_.capacity() * sizeof(LoadEvent) +
+         loops_.capacity() * sizeof(LoopEvent) +
+         branches_.capacity() * sizeof(BranchEvent);
+}
+
+}  // namespace bd::simt

@@ -1,0 +1,45 @@
+#pragma once
+/// \file warp.hpp
+/// Warp analyzer: reconstructs lockstep SIMT execution from independent
+/// per-lane traces. Events are aligned by (site, occurrence-within-site):
+/// lanes that recorded the n-th event at a static site are the lanes that
+/// were active when the warp issued that instruction. The analyzer derives
+/// divergence statistics and replays coalesced memory traffic through the
+/// SM's L1 and the shared L2.
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/cache.hpp"
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+#include "simt/trace.hpp"
+
+namespace bd::simt {
+
+/// The coalesced memory stream of one warp: line addresses per warp-level
+/// load instruction, in program order — ready for cache replay.
+struct WarpReplay {
+  std::vector<std::vector<std::uint64_t>> instructions;
+};
+
+/// Reconstruct warp-level execution from per-lane traces: accumulates
+/// divergence/coalescing statistics into `out` and returns the warp's
+/// transaction stream for cache replay.
+WarpReplay analyze_warp_groups(const std::vector<const LaneTrace*>& traces,
+                               const DeviceSpec& spec, KernelMetrics& out);
+
+/// Replay several warps' transaction streams through the SM's L1 and the
+/// shared L2, interleaving round-robin one instruction at a time — the
+/// concurrency model of an SM's warp schedulers. Scattered per-warp
+/// streams thrash the shared L1; streams touching common lines share it.
+void replay_interleaved(std::vector<WarpReplay>& replays,
+                        const DeviceSpec& spec, SetAssocCache& l1,
+                        SetAssocCache& l2, KernelMetrics& out);
+
+/// Convenience for tests: analyze one warp and replay it alone.
+void analyze_warp(const std::vector<const LaneTrace*>& traces,
+                  const DeviceSpec& spec, SetAssocCache& l1,
+                  SetAssocCache& l2, KernelMetrics& out);
+
+}  // namespace bd::simt

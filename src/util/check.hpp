@@ -1,0 +1,52 @@
+#pragma once
+/// \file check.hpp
+/// Lightweight precondition / invariant checking used across the library.
+/// Checks are always on: this is simulation infrastructure, not a hot inner
+/// loop (hot loops use BD_DCHECK which compiles out in release builds).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bd {
+
+/// Exception thrown when a BD_CHECK / BD_REQUIRE fails.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace bd
+
+/// Verify a precondition; throws bd::CheckError on failure.
+#define BD_CHECK(expr)                                                  \
+  do {                                                                  \
+    if (!(expr)) ::bd::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Verify a precondition with an explanatory message.
+#define BD_CHECK_MSG(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream bd_os_;                                     \
+      bd_os_ << msg;                                                 \
+      ::bd::detail::check_failed(#expr, __FILE__, __LINE__, bd_os_.str()); \
+    }                                                                \
+  } while (0)
+
+/// Debug-only check, removed when NDEBUG is defined.
+#ifdef NDEBUG
+#define BD_DCHECK(expr) ((void)0)
+#else
+#define BD_DCHECK(expr) BD_CHECK(expr)
+#endif

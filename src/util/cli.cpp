@@ -1,0 +1,125 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace bd::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  options_[name] =
+      Option{Kind::kInt, help, std::to_string(default_value),
+             std::to_string(default_value)};
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  options_[name] = Option{Kind::kDouble, help, os.str(), os.str()};
+}
+
+void ArgParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  options_[name] = Option{Kind::kString, help, default_value, default_value};
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::kFlag, help, "0", "0"};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", program_.c_str(),
+                   arg.c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option '--%s'\n", program_.c_str(),
+                   name.c_str());
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      opt.value = has_value ? value : "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '--%s' needs a value\n",
+                     program_.c_str(), name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    opt.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  BD_CHECK_MSG(it != options_.end(), "option not registered: " << name);
+  BD_CHECK_MSG(it->second.kind == kind, "option type mismatch: " << name);
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(find(name, Kind::kInt).value.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(find(name, Kind::kDouble).value.c_str(), nullptr);
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const std::string& v = find(name, Kind::kFlag).value;
+  return v == "1" || v == "true" || v == "yes";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::kInt: os << " <int>"; break;
+      case Kind::kDouble: os << " <float>"; break;
+      case Kind::kString: os << " <string>"; break;
+      case Kind::kFlag: break;
+    }
+    os << "\n      " << opt.help;
+    if (opt.kind != Kind::kFlag) os << " (default: " << opt.default_value << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bd::util

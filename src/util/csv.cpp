@@ -1,0 +1,74 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace bd::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  BD_CHECK_MSG(out_.good(), "cannot open CSV file: " << path);
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  BD_CHECK_MSG(!header_written_ && rows_ == 0 && pending_.empty(),
+               "header() must be the first write");
+  write_row(names);
+  header_written_ = true;
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  pending_.emplace_back(buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  BD_CHECK_MSG(!pending_.empty(), "end_row() with no cells");
+  write_row(pending_);
+  pending_.clear();
+  ++rows_;
+}
+
+void CsvWriter::close() {
+  BD_CHECK_MSG(pending_.empty(), "close() with an unfinished row");
+  out_.close();
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& raw) {
+  if (raw.find_first_of(",\"\n") == std::string::npos) return raw;
+  std::string quoted = "\"";
+  for (char c : raw) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace bd::util

@@ -1,0 +1,100 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace bd::util {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull, 0xA9582618E03FC9AAull,
+      0x39ABDC4529B1661Cull};
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (std::uint64_t jump_word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump_word & (1ull << b)) {
+        for (int i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      next();
+    }
+  }
+  s_ = acc;
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa from the top bits.
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; reject u1 == 0 to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % n);
+  std::uint64_t draw;
+  do {
+    draw = gen_.next();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+Rng Rng::split() {
+  Rng child = *this;
+  child.gen_.jump();
+  child.has_cached_normal_ = false;
+  // Advance the parent so repeated splits differ.
+  gen_.next();
+  return child;
+}
+
+}  // namespace bd::util

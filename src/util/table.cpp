@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace bd::util {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return std::string(buf);
+}
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headings)
+    : headings_(std::move(headings)) {
+  BD_CHECK_MSG(!headings_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  BD_CHECK_MSG(cells.size() == headings_.size(),
+               "row has " << cells.size() << " cells, expected "
+                          << headings_.size());
+  rows_.push_back(std::move(cells));
+}
+
+ConsoleTable& ConsoleTable::cell(const std::string& value) {
+  pending_.push_back(value);
+  return *this;
+}
+
+ConsoleTable& ConsoleTable::cell(double value, int precision) {
+  pending_.push_back(format_double(value, precision));
+  return *this;
+}
+
+ConsoleTable& ConsoleTable::cell(std::int64_t value) {
+  pending_.push_back(std::to_string(value));
+  return *this;
+}
+
+void ConsoleTable::end_row() {
+  add_row(pending_);
+  pending_.clear();
+}
+
+std::string ConsoleTable::str() const {
+  std::vector<std::size_t> widths(headings_.size());
+  for (std::size_t c = 0; c < headings_.size(); ++c) {
+    widths[c] = headings_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&]() {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  emit_rule();
+  emit_row(headings_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+void ConsoleTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace bd::util

@@ -1,0 +1,40 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timer for host-side phase timing (clustering, training, ...).
+
+#include <chrono>
+
+namespace bd::util {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows.
+class AccumTimer {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_ += timer_.seconds(); }
+  double total_seconds() const { return total_; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace bd::util

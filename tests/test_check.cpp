@@ -1,0 +1,36 @@
+/// Tests for the checking macros.
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace bd {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(BD_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(BD_CHECK_MSG(true, "never seen"));
+}
+
+TEST(Check, FailingCheckThrows) {
+  EXPECT_THROW(BD_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageIncludesExpressionAndText) {
+  try {
+    BD_CHECK_MSG(2 > 3, "two is not greater, got " << 2);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not greater, got 2"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsRuntimeError) {
+  EXPECT_THROW(BD_CHECK(false), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bd

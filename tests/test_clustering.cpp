@@ -1,0 +1,177 @@
+/// Tests for RP-CLUSTERING (flat, tiled, chunked and ordered variants).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/clustering.hpp"
+#include "util/check.hpp"
+
+namespace bd::core {
+namespace {
+
+/// Pattern field with two distinct pattern populations split by x.
+PatternField bimodal_patterns(std::size_t nx, std::size_t ny) {
+  PatternField field(nx * ny, 2);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      auto p = field.at(iy * nx + ix);
+      if (ix < nx / 2) {
+        p[0] = 2.0;
+        p[1] = 1.0;
+      } else {
+        p[0] = 16.0;
+        p[1] = 8.0;
+      }
+    }
+  }
+  return field;
+}
+
+std::size_t total_members(const ClusterAssignment& a) {
+  std::size_t total = 0;
+  for (const auto& m : a.members) total += m.size();
+  return total;
+}
+
+TEST(RpClustering, EveryPointAssignedOnce) {
+  const PatternField patterns = bimodal_patterns(8, 8);
+  RpClusteringOptions options;
+  options.clusters = 4;
+  options.spatial_weight = 0.0;
+  const ClusterAssignment a = rp_clustering(patterns, {}, {}, options);
+  EXPECT_EQ(total_members(a), 64u);
+  std::set<std::uint32_t> seen;
+  for (const auto& m : a.members) seen.insert(m.begin(), m.end());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(RpClustering, BalancedCapsClusterSize) {
+  const PatternField patterns = bimodal_patterns(8, 8);
+  RpClusteringOptions options;
+  options.clusters = 4;
+  options.balanced = true;
+  options.spatial_weight = 0.0;
+  const ClusterAssignment a = rp_clustering(patterns, {}, {}, options);
+  EXPECT_LE(a.max_cluster_size, 16u);
+}
+
+TEST(RpClustering, SeparatesDistinctPatternPopulations) {
+  const PatternField patterns = bimodal_patterns(8, 8);
+  RpClusteringOptions options;
+  options.clusters = 2;
+  options.balanced = true;
+  options.spatial_weight = 0.0;
+  options.train_subsample = 64;
+  const ClusterAssignment a = rp_clustering(patterns, {}, {}, options);
+  // Points 0..3 of a row (left half) should share a cluster distinct from
+  // points 4..7 (right half).
+  for (const auto& members : a.members) {
+    bool has_left = false, has_right = false;
+    for (std::uint32_t p : members) {
+      if (p % 8 < 4) has_left = true;
+      else has_right = true;
+    }
+    EXPECT_FALSE(has_left && has_right);
+  }
+}
+
+TEST(RpClustering, MembersAscendWithinCluster) {
+  const PatternField patterns = bimodal_patterns(8, 8);
+  RpClusteringOptions options;
+  options.clusters = 4;
+  options.spatial_weight = 0.0;
+  const ClusterAssignment a = rp_clustering(patterns, {}, {}, options);
+  for (const auto& m : a.members) {
+    for (std::size_t i = 1; i < m.size(); ++i) EXPECT_GT(m[i], m[i - 1]);
+  }
+}
+
+TEST(RpClusteringTiled, WarpsAreSpatialTiles) {
+  const beam::GridSpec spec = beam::make_centered_grid(16, 16, 1.0, 1.0);
+  PatternField patterns(spec.nodes(), 2);
+  TiledClusteringOptions options;
+  options.clusters = 8;
+  options.tile_w = 8;
+  options.tile_h = 4;
+  const ClusterAssignment a = rp_clustering_tiled(patterns, spec, options);
+  EXPECT_EQ(total_members(a), 256u);
+  // Each run of 32 consecutive members is one 8×4 spatial tile.
+  for (const auto& members : a.members) {
+    ASSERT_EQ(members.size() % 32, 0u);
+    for (std::size_t w = 0; w + 32 <= members.size(); w += 32) {
+      std::uint32_t min_x = 16, max_x = 0, min_y = 16, max_y = 0;
+      for (std::size_t i = 0; i < 32; ++i) {
+        const std::uint32_t p = members[w + i];
+        const std::uint32_t ix = p % 16, iy = p / 16;
+        min_x = std::min(min_x, ix);
+        max_x = std::max(max_x, ix);
+        min_y = std::min(min_y, iy);
+        max_y = std::max(max_y, iy);
+      }
+      EXPECT_LE(max_x - min_x, 7u);
+      EXPECT_LE(max_y - min_y, 3u);
+    }
+  }
+}
+
+TEST(RpClusteringTiled, GroupsTilesByPatternSimilarity) {
+  const beam::GridSpec spec = beam::make_centered_grid(16, 16, 1.0, 1.0);
+  PatternField patterns(spec.nodes(), 1);
+  // Left half tiles cheap, right half expensive.
+  for (std::uint32_t iy = 0; iy < 16; ++iy) {
+    for (std::uint32_t ix = 0; ix < 16; ++ix) {
+      patterns.at(iy * 16 + ix)[0] = ix < 8 ? 1.0 : 32.0;
+    }
+  }
+  TiledClusteringOptions options;
+  options.clusters = 2;
+  options.tile_w = 8;
+  options.tile_h = 4;
+  options.spatial_weight = 0.0;  // isolate the pattern-similarity grouping
+  const ClusterAssignment a = rp_clustering_tiled(patterns, spec, options);
+  for (const auto& members : a.members) {
+    if (members.empty()) continue;
+    const bool left = (members[0] % 16) < 8;
+    for (std::uint32_t p : members) EXPECT_EQ((p % 16) < 8, left);
+  }
+}
+
+TEST(RpClusteringTiled, RaggedGridsHandled) {
+  const beam::GridSpec spec = beam::make_centered_grid(10, 6, 1.0, 1.0);
+  PatternField patterns(spec.nodes(), 1);
+  TiledClusteringOptions options;
+  options.clusters = 3;
+  options.tile_w = 8;
+  options.tile_h = 4;
+  const ClusterAssignment a = rp_clustering_tiled(patterns, spec, options);
+  EXPECT_EQ(total_members(a), 60u);
+}
+
+TEST(ChunkClustering, RowMajorChunks) {
+  const ClusterAssignment a = chunk_clustering(10, 4);
+  ASSERT_EQ(a.members.size(), 3u);
+  EXPECT_EQ(a.members[0], (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(a.members[2], (std::vector<std::uint32_t>{8, 9}));
+  EXPECT_EQ(a.max_cluster_size, 4u);
+}
+
+TEST(OrderedClustering, FollowsPermutation) {
+  const std::vector<std::uint32_t> order{5, 3, 1, 0, 2, 4};
+  const ClusterAssignment a = ordered_clustering(order, 3);
+  ASSERT_EQ(a.members.size(), 2u);
+  EXPECT_EQ(a.members[0], (std::vector<std::uint32_t>{5, 3, 1}));
+  EXPECT_EQ(a.members[1], (std::vector<std::uint32_t>{0, 2, 4}));
+}
+
+TEST(Clustering, ValidatesArguments) {
+  EXPECT_THROW(chunk_clustering(0, 4), bd::CheckError);
+  EXPECT_THROW(chunk_clustering(4, 0), bd::CheckError);
+  EXPECT_THROW(ordered_clustering({}, 3), bd::CheckError);
+  PatternField empty;
+  RpClusteringOptions options;
+  EXPECT_THROW(rp_clustering(empty, {}, {}, options), bd::CheckError);
+}
+
+}  // namespace
+}  // namespace bd::core

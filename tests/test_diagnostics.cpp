@@ -1,0 +1,115 @@
+/// Tests for the beam diagnostics module.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "beam/bunch.hpp"
+#include "beam/deposit.hpp"
+#include "beam/diagnostics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bd::beam {
+namespace {
+
+TEST(Diagnostics, MomentsOfColdBunchHaveZeroEmittance) {
+  util::Rng rng(1);
+  const ParticleSet p = sample_gaussian_bunch(10000, BeamParams{}, rng);
+  const PlaneMoments m = longitudinal_moments(p);
+  EXPECT_NEAR(m.sigma_position, 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(m.sigma_momentum, 0.0);
+  EXPECT_DOUBLE_EQ(m.emittance, 0.0);
+}
+
+TEST(Diagnostics, EmittanceOfUncorrelatedPhaseSpace) {
+  util::Rng rng(2);
+  const ParticleSet p =
+      sample_gaussian_bunch(50000, BeamParams{}, rng, /*spread=*/0.5);
+  const PlaneMoments m = longitudinal_moments(p);
+  // Uncorrelated Gaussian phase space: ε = σ_x σ_p.
+  EXPECT_NEAR(m.emittance, m.sigma_position * m.sigma_momentum,
+              0.02 * m.emittance + 1e-12);
+  EXPECT_NEAR(m.sigma_momentum, 0.5, 0.02);
+  EXPECT_NEAR(m.correlation, 0.0, 0.01);
+}
+
+TEST(Diagnostics, CorrelatedPhaseSpaceShrinksEmittance) {
+  // p = 0.7 x exactly: a fully-correlated (chirped) beam has ε = 0.
+  ParticleSet p(1000);
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    p.s()[i] = rng.normal();
+    p.ps()[i] = 0.7 * p.s()[i];
+  }
+  const PlaneMoments m = longitudinal_moments(p);
+  EXPECT_NEAR(m.emittance, 0.0, 1e-9);
+  EXPECT_GT(m.correlation, 0.0);
+}
+
+TEST(Diagnostics, EmptyBunchIsAllZero) {
+  const PlaneMoments m = transverse_moments(ParticleSet{});
+  EXPECT_DOUBLE_EQ(m.sigma_position, 0.0);
+  EXPECT_DOUBLE_EQ(m.emittance, 0.0);
+}
+
+TEST(Diagnostics, LineDensityIntegratesToCharge) {
+  util::Rng rng(4);
+  BeamParams params;
+  params.charge = 2.5;
+  const ParticleSet p = sample_gaussian_bunch(20000, params, rng);
+  const std::vector<double> density = line_density(p, -6.0, 6.0, 64);
+  double total = 0.0;
+  for (double v : density) total += v * (12.0 / 64);
+  EXPECT_NEAR(total, 2.5, 0.01);  // ±6σ contains ~all charge
+}
+
+TEST(Diagnostics, LineDensityPeaksAtCenter) {
+  util::Rng rng(5);
+  const ParticleSet p = sample_gaussian_bunch(50000, BeamParams{}, rng);
+  const std::vector<double> density = line_density(p, -6.0, 6.0, 48);
+  const std::size_t peak =
+      static_cast<std::size_t>(std::max_element(density.begin(),
+                                                density.end()) -
+                               density.begin());
+  EXPECT_NEAR(static_cast<double>(peak), 23.5, 3.0);
+}
+
+TEST(Diagnostics, LineDensityValidatesArgs) {
+  EXPECT_THROW(line_density(ParticleSet{}, 1.0, 1.0, 4), bd::CheckError);
+  EXPECT_THROW(line_density(ParticleSet{}, 0.0, 1.0, 0), bd::CheckError);
+}
+
+TEST(Diagnostics, ProjectionsConsistentWithGridCharge) {
+  util::Rng rng(6);
+  BeamParams params;
+  params.charge = 3.0;
+  const ParticleSet p = sample_gaussian_bunch(30000, params, rng);
+  Grid2D rho(make_centered_grid(33, 33, 6.0, 6.0));
+  deposit(p, DepositScheme::kTSC, rho);
+
+  const std::vector<double> lambda = project_longitudinal(rho);
+  double total = 0.0;
+  for (double v : lambda) total += v * rho.spec().dx;
+  EXPECT_NEAR(total, grid_charge(rho), 1e-9);
+  EXPECT_NEAR(total, 3.0, 0.05);
+
+  const std::vector<double> mu = project_transverse(rho);
+  double total_t = 0.0;
+  for (double v : mu) total_t += v * rho.spec().dy;
+  EXPECT_NEAR(total_t, total, 1e-9);
+}
+
+TEST(Diagnostics, FractionInInterior) {
+  ParticleSet p(4);
+  p.s()[0] = 0.0;  p.y()[0] = 0.0;   // inside
+  p.s()[1] = 5.9;  p.y()[1] = 0.0;   // outside interior (guard ring)
+  p.s()[2] = -7.0; p.y()[2] = 0.0;   // outside grid
+  p.s()[3] = 1.0;  p.y()[3] = -1.0;  // inside
+  const GridSpec spec = make_centered_grid(13, 13, 6.0, 6.0);
+  EXPECT_DOUBLE_EQ(fraction_in_interior(p, spec), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_in_interior(ParticleSet{}, spec), 1.0);
+}
+
+}  // namespace
+}  // namespace bd::beam

@@ -1,0 +1,110 @@
+/// Tests for the COMPUTE-PARTITION transforms (§III-C2).
+
+#include <gtest/gtest.h>
+
+#include "core/forecast.hpp"
+#include "quad/partition.hpp"
+
+namespace bd::core {
+namespace {
+
+TEST(RoundPow2, NearestInLogSpace) {
+  EXPECT_EQ(round_pow2(0.0), 1u);
+  EXPECT_EQ(round_pow2(1.0), 1u);
+  EXPECT_EQ(round_pow2(1.3), 1u);
+  EXPECT_EQ(round_pow2(1.5), 2u);
+  EXPECT_EQ(round_pow2(3.0), 4u);   // log2(3)=1.58 -> 2 -> 4
+  EXPECT_EQ(round_pow2(5.0), 4u);   // log2(5)=2.32 -> 2 -> 4
+  EXPECT_EQ(round_pow2(6.0), 8u);   // log2(6)=2.58 -> 3 -> 8
+  EXPECT_EQ(round_pow2(16.0), 16u);
+  EXPECT_EQ(round_pow2(100.0), 128u);
+}
+
+TEST(UniformTransform, ProducesDyadicCounts) {
+  const std::vector<double> pattern{1.0, 3.0, 7.0};
+  const std::vector<double> breaks =
+      pattern_to_partition(pattern, 1.0, 3.0, /*headroom=*/1.0);
+  EXPECT_TRUE(quad::is_valid_partition(breaks));
+  const auto counts = quad::count_per_subregion(breaks, 1.0, 3);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 4u);
+  EXPECT_EQ(counts[2], 8u);
+}
+
+TEST(UniformTransform, HeadroomProvisionsUp) {
+  const std::vector<double> pattern{3.0};
+  // 1.5 × 3 = 4.5 -> nearest pow2 is 4; 1.5 × 6 = 9 -> 8.
+  const auto a = pattern_to_partition(pattern, 1.0, 1.0, 1.5);
+  EXPECT_EQ(quad::count_per_subregion(a, 1.0, 1)[0], 4u);
+  const auto b = pattern_to_partition(std::vector<double>{6.0}, 1.0, 1.0, 1.5);
+  EXPECT_EQ(quad::count_per_subregion(b, 1.0, 1)[0], 8u);
+}
+
+TEST(UniformTransform, ClipsAtRmax) {
+  const std::vector<double> pattern{2.0, 2.0, 2.0, 2.0};
+  const std::vector<double> breaks =
+      pattern_to_partition(pattern, 1.0, 2.5, 1.0);
+  EXPECT_DOUBLE_EQ(breaks.back(), 2.5);
+  EXPECT_TRUE(quad::is_valid_partition(breaks));
+}
+
+TEST(UniformTransform, SimilarPatternsShareBreakpoints) {
+  // The dyadic property: the finer partition contains the coarser one, so
+  // MERGE-LISTS of cluster members stays tight.
+  const auto coarse =
+      pattern_to_partition(std::vector<double>{4.0}, 1.0, 1.0, 1.0);
+  const auto fine =
+      pattern_to_partition(std::vector<double>{8.0}, 1.0, 1.0, 1.0);
+  const auto merged = quad::merge_partitions(coarse, fine);
+  EXPECT_EQ(merged, fine);
+}
+
+TEST(AdaptiveTransform, RefinesPreviousPartition) {
+  const std::vector<double> previous{0.0, 0.5, 1.0, 2.0};
+  const std::vector<double> pattern{4.0, 2.0};
+  const std::vector<double> refined = pattern_to_partition_adaptive(
+      pattern, previous, 1.0, 2.0, /*headroom=*/1.0);
+  EXPECT_TRUE(quad::is_valid_partition(refined));
+  const auto counts = quad::count_per_subregion(refined, 1.0, 2);
+  EXPECT_GE(counts[0], 4u);
+  EXPECT_GE(counts[1], 2u);
+  // Previous breakpoints survive (refinement, not regeneration).
+  bool has_half = false;
+  for (double b : refined) has_half |= (b == 0.5);
+  EXPECT_TRUE(has_half);
+}
+
+TEST(AdaptiveTransform, FallsBackWithoutPrevious) {
+  const std::vector<double> pattern{2.0, 2.0};
+  EXPECT_EQ(pattern_to_partition_adaptive(pattern, {}, 1.0, 2.0, 1.0),
+            pattern_to_partition(pattern, 1.0, 2.0, 1.0));
+}
+
+// Property: for any pattern, the generated partition spans [0, r_max] and
+// provisions at least the rounded predicted count per subregion.
+class TransformSweep : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(TransformSweep, ProvisionsAtLeastPrediction) {
+  const auto pattern = GetParam();
+  const double r_max = static_cast<double>(pattern.size());
+  const auto breaks = pattern_to_partition(pattern, 1.0, r_max, 1.0);
+  EXPECT_TRUE(quad::is_valid_partition(breaks));
+  EXPECT_DOUBLE_EQ(breaks.front(), 0.0);
+  EXPECT_DOUBLE_EQ(breaks.back(), r_max);
+  const auto counts = quad::count_per_subregion(
+      breaks, 1.0, static_cast<std::uint32_t>(pattern.size()));
+  for (std::size_t j = 0; j < pattern.size(); ++j) {
+    EXPECT_EQ(counts[j], round_pow2(pattern[j])) << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, TransformSweep,
+    ::testing::Values(std::vector<double>{1.0},
+                      std::vector<double>{0.2, 1.7, 9.3},
+                      std::vector<double>{32.0, 16.0, 8.0, 4.0},
+                      std::vector<double>{0.0, 0.0, 64.0},
+                      std::vector<double>{2.5, 2.5, 2.5, 2.5, 2.5}));
+
+}  // namespace
+}  // namespace bd::core

@@ -1,0 +1,74 @@
+#pragma once
+/// Shared fixtures for solver-level tests: a small rp-problem over a
+/// continuum-filled (noise-free) moment history.
+
+#include <memory>
+
+#include "beam/analytic.hpp"
+#include "beam/history.hpp"
+#include "beam/units.hpp"
+#include "beam/wake.hpp"
+#include "core/problem.hpp"
+
+namespace bd::testing {
+
+/// Owns everything an RpProblem points to.
+struct ProblemFixture {
+  beam::GridSpec spec;
+  beam::BeamParams params;
+  beam::WakeModel model;
+  std::unique_ptr<beam::GridHistory> history;
+  core::RpProblem problem;
+
+  explicit ProblemFixture(std::uint32_t n = 32, double tolerance = 1e-6,
+                          std::uint32_t subregions = 12)
+      : spec(beam::make_centered_grid(n, n, 6.0, 6.0)),
+        model(beam::WakeModel::longitudinal()) {
+    history = std::make_unique<beam::GridHistory>(spec, subregions + 4);
+    beam::Grid2D rho(spec), grad(spec);
+    for (std::uint32_t iy = 0; iy < spec.ny; ++iy) {
+      for (std::uint32_t ix = 0; ix < spec.nx; ++ix) {
+        const double x = spec.x_at(ix);
+        const double y = spec.y_at(iy);
+        rho.at(ix, iy) = beam::gaussian_pdf(x, params.sigma_s) *
+                         beam::gaussian_pdf(y, params.sigma_y);
+        grad.at(ix, iy) = beam::gaussian_pdf_prime(x, params.sigma_s) *
+                          beam::gaussian_pdf(y, params.sigma_y);
+      }
+    }
+    history->fill_all(100, rho, grad);
+
+    problem.history = history.get();
+    problem.model = &model;
+    problem.step = 100;
+    problem.sub_width = 1.0;
+    problem.num_subregions = subregions;
+    problem.tolerance = tolerance;
+  }
+
+  /// Advance the (static) history by one step so stateful solvers can be
+  /// stepped repeatedly.
+  void advance() {
+    beam::Grid2D rho(spec), grad(spec);
+    for (std::uint32_t iy = 0; iy < spec.ny; ++iy) {
+      for (std::uint32_t ix = 0; ix < spec.nx; ++ix) {
+        const double x = spec.x_at(ix);
+        const double y = spec.y_at(iy);
+        rho.at(ix, iy) = beam::gaussian_pdf(x, params.sigma_s) *
+                         beam::gaussian_pdf(y, params.sigma_y);
+        grad.at(ix, iy) = beam::gaussian_pdf_prime(x, params.sigma_s) *
+                          beam::gaussian_pdf(y, params.sigma_y);
+      }
+    }
+    history->push_step(history->latest_step() + 1, rho, grad);
+    problem.step = history->latest_step();
+  }
+
+  /// Analytic continuum force at grid node (ix, iy).
+  double exact(std::uint32_t ix, std::uint32_t iy) const {
+    return beam::analytic_force(spec.x_at(ix), spec.y_at(iy), model, params,
+                                problem.r_max(), 1e-11);
+  }
+};
+
+}  // namespace bd::testing

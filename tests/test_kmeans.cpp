@@ -1,0 +1,160 @@
+/// Tests for k-means clustering (RP-CLUSTERING's engine).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ml/kmeans.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bd::ml {
+namespace {
+
+/// Three well-separated 2-D blobs.
+std::vector<double> three_blobs(std::size_t per_blob, util::Rng& rng) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  std::vector<double> pts;
+  for (int b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      pts.push_back(centers[b][0] + rng.normal(0.0, 0.5));
+      pts.push_back(centers[b][1] + rng.normal(0.0, 0.5));
+    }
+  }
+  return pts;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  util::Rng rng(5);
+  const std::vector<double> pts = three_blobs(50, rng);
+  KMeansConfig config;
+  config.clusters = 3;
+  const KMeansResult result = kmeans(pts, 150, 2, config);
+  // Each blob maps to one cluster: members of a blob share assignment.
+  for (int b = 0; b < 3; ++b) {
+    const std::uint32_t label = result.assignment[static_cast<std::size_t>(b) * 50];
+    int agree = 0;
+    for (int i = 0; i < 50; ++i) {
+      if (result.assignment[static_cast<std::size_t>(b) * 50 +
+                            static_cast<std::size_t>(i)] == label) {
+        ++agree;
+      }
+    }
+    EXPECT_GE(agree, 49) << "blob " << b;
+  }
+  // Distinct blobs get distinct labels.
+  std::set<std::uint32_t> labels;
+  for (int b = 0; b < 3; ++b) labels.insert(result.assignment[static_cast<std::size_t>(b) * 50]);
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  util::Rng rng(7);
+  const std::vector<double> pts = three_blobs(40, rng);
+  double prev = 1e300;
+  for (std::size_t k : {1, 2, 3, 6}) {
+    KMeansConfig config;
+    config.clusters = k;
+    const KMeansResult r = kmeans(pts, 120, 2, config);
+    EXPECT_LE(r.inertia, prev * 1.0001) << "k=" << k;
+    prev = r.inertia;
+  }
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  util::Rng rng(9);
+  const std::vector<double> pts = three_blobs(30, rng);
+  KMeansConfig config;
+  config.clusters = 4;
+  const KMeansResult a = kmeans(pts, 90, 2, config);
+  const KMeansResult b = kmeans(pts, 90, 2, config);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, BalancedCapsClusterSizes) {
+  util::Rng rng(11);
+  // Heavily imbalanced data: one dense blob, few outliers.
+  std::vector<double> pts;
+  for (int i = 0; i < 90; ++i) {
+    pts.push_back(rng.normal(0.0, 0.1));
+    pts.push_back(rng.normal(0.0, 0.1));
+  }
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(100.0 + rng.normal(0.0, 0.1));
+    pts.push_back(rng.normal(0.0, 0.1));
+  }
+  KMeansConfig config;
+  config.clusters = 4;
+  config.balanced = true;
+  const KMeansResult r = kmeans(pts, 100, 2, config);
+  for (std::uint32_t size : r.sizes) EXPECT_LE(size, 25u);
+}
+
+TEST(KMeans, SizesSumToCount) {
+  util::Rng rng(13);
+  const std::vector<double> pts = three_blobs(20, rng);
+  KMeansConfig config;
+  config.clusters = 5;
+  const KMeansResult r = kmeans(pts, 60, 2, config);
+  std::size_t total = 0;
+  for (std::uint32_t s : r.sizes) total += s;
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(KMeans, KEqualsCountGivesSingletons) {
+  const std::vector<double> pts{0.0, 0.0, 5.0, 5.0, 9.0, 1.0};
+  KMeansConfig config;
+  config.clusters = 3;
+  const KMeansResult r = kmeans(pts, 3, 2, config);
+  std::set<std::uint32_t> labels(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, ValidatesArguments) {
+  const std::vector<double> pts{0.0, 1.0};
+  KMeansConfig config;
+  config.clusters = 3;
+  EXPECT_THROW(kmeans(pts, 2, 1, config), bd::CheckError);  // k > count
+  EXPECT_THROW(kmeans(pts, 3, 1, config), bd::CheckError);  // size mismatch
+}
+
+TEST(KMeans, MembersByClusterPreservesOrder) {
+  KMeansResult r;
+  r.assignment = {1, 0, 1, 0, 1};
+  r.sizes = {2, 3};
+  const auto members = members_by_cluster(r, 2);
+  EXPECT_EQ(members[0], (std::vector<std::uint32_t>{1, 3}));
+  EXPECT_EQ(members[1], (std::vector<std::uint32_t>{0, 2, 4}));
+}
+
+TEST(AssignBalanced, NearestWhenUnconstrained) {
+  const std::vector<double> pts{0.0, 1.0, 9.0, 10.0};
+  const std::vector<double> centroids{0.5, 9.5};
+  const auto a = assign_balanced(pts, 4, 1, centroids, 2, 0);
+  EXPECT_EQ(a, (std::vector<std::uint32_t>{0, 0, 1, 1}));
+}
+
+TEST(AssignBalanced, CapacityForcesSpill) {
+  // All four points nearest centroid 0, but capacity 2 forces two of them
+  // (the least-urgent) to centroid 1.
+  const std::vector<double> pts{0.0, 0.1, 0.2, 0.3};
+  const std::vector<double> centroids{0.0, 5.0};
+  const auto a = assign_balanced(pts, 4, 1, centroids, 2, 2);
+  int to_zero = 0;
+  for (auto c : a) {
+    if (c == 0) ++to_zero;
+  }
+  EXPECT_EQ(to_zero, 2);
+}
+
+TEST(AssignBalanced, ImpossibleCapacityThrows) {
+  const std::vector<double> pts{0.0, 1.0, 2.0};
+  const std::vector<double> centroids{0.0};
+  EXPECT_THROW(assign_balanced(pts, 3, 1, centroids, 1, 2), bd::CheckError);
+}
+
+}  // namespace
+}  // namespace bd::ml

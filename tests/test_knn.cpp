@@ -1,0 +1,145 @@
+/// Tests for kNN regression (the paper's access-pattern predictor).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/knn.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace bd::ml {
+namespace {
+
+Dataset linear_surface(std::size_t n, util::Rng& rng) {
+  // y0 = 2x0 + x1, y1 = -x0 (multi-output).
+  Dataset d(2, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-1, 1);
+    const double x1 = rng.uniform(-1, 1);
+    d.add(std::vector<double>{x0, x1},
+          std::vector<double>{2 * x0 + x1, -x0});
+  }
+  return d;
+}
+
+TEST(Knn, ExactMatchReturnsStoredTarget) {
+  Dataset d(1, 1);
+  d.add(std::vector<double>{1.0}, std::vector<double>{10.0});
+  d.add(std::vector<double>{2.0}, std::vector<double>{20.0});
+  d.add(std::vector<double>{3.0}, std::vector<double>{30.0});
+  KNNRegressor knn(KnnConfig{.k = 2});
+  knn.fit(d);
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{2.0})[0], 20.0);
+}
+
+TEST(Knn, UniformWeightsAverageNeighbors) {
+  Dataset d(1, 1);
+  d.add(std::vector<double>{0.0}, std::vector<double>{0.0});
+  d.add(std::vector<double>{1.0}, std::vector<double>{10.0});
+  KnnConfig config;
+  config.k = 2;
+  config.distance_weighted = false;
+  config.standardize = false;
+  KNNRegressor knn(config);
+  knn.fit(d);
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.25})[0], 5.0);
+}
+
+TEST(Knn, DistanceWeightsFavorCloserNeighbor) {
+  Dataset d(1, 1);
+  d.add(std::vector<double>{0.0}, std::vector<double>{0.0});
+  d.add(std::vector<double>{1.0}, std::vector<double>{10.0});
+  KnnConfig config;
+  config.k = 2;
+  config.distance_weighted = true;
+  config.standardize = false;
+  KNNRegressor knn(config);
+  knn.fit(d);
+  // At x = 0.25: weights 4 and 4/3 -> prediction 10 * (4/3)/(16/3) = 2.5.
+  EXPECT_NEAR(knn.predict(std::vector<double>{0.25})[0], 2.5, 1e-12);
+}
+
+TEST(Knn, BruteAndKdTreeAgree) {
+  util::Rng rng(17);
+  const Dataset d = linear_surface(200, rng);
+  KnnConfig tree_cfg;
+  tree_cfg.k = 5;
+  KnnConfig brute_cfg = tree_cfg;
+  brute_cfg.use_kdtree = false;
+  KNNRegressor with_tree(tree_cfg), with_brute(brute_cfg);
+  with_tree.fit(d);
+  with_brute.fit(d);
+  for (int q = 0; q < 25; ++q) {
+    const std::vector<double> query{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const auto a = with_tree.predict(query);
+    const auto b = with_brute.predict(query);
+    EXPECT_NEAR(a[0], b[0], 1e-10);
+    EXPECT_NEAR(a[1], b[1], 1e-10);
+  }
+}
+
+TEST(Knn, LearnsSmoothSurface) {
+  util::Rng rng(23);
+  const Dataset d = linear_surface(1000, rng);
+  KNNRegressor knn(KnnConfig{.k = 8});
+  knn.fit(d);
+  double worst = 0.0;
+  for (int q = 0; q < 50; ++q) {
+    const double x0 = rng.uniform(-0.8, 0.8);
+    const double x1 = rng.uniform(-0.8, 0.8);
+    const auto p = knn.predict(std::vector<double>{x0, x1});
+    worst = std::max(worst, std::abs(p[0] - (2 * x0 + x1)));
+    worst = std::max(worst, std::abs(p[1] + x0));
+  }
+  EXPECT_LT(worst, 0.25);  // kNN locally averages a Lipschitz surface
+}
+
+TEST(Knn, StandardizationMattersForSkewedScales) {
+  // Feature 1 carries the signal but has tiny scale; feature 0 is noise
+  // with huge scale. Without standardization kNN keys on the noise.
+  util::Rng rng(29);
+  Dataset d(2, 1);
+  for (int i = 0; i < 500; ++i) {
+    const double signal = rng.uniform(-0.01, 0.01);
+    const double noise = rng.uniform(-1000, 1000);
+    d.add(std::vector<double>{noise, signal},
+          std::vector<double>{signal > 0 ? 1.0 : -1.0});
+  }
+  KnnConfig raw_cfg;
+  raw_cfg.k = 5;
+  raw_cfg.standardize = false;
+  KnnConfig std_cfg = raw_cfg;
+  std_cfg.standardize = true;
+  KNNRegressor raw(raw_cfg), standardized(std_cfg);
+  raw.fit(d);
+  standardized.fit(d);
+  int raw_correct = 0, std_correct = 0;
+  for (int q = 0; q < 100; ++q) {
+    const double signal = rng.uniform(-0.01, 0.01);
+    const std::vector<double> query{rng.uniform(-1000, 1000), signal};
+    const double truth = signal > 0 ? 1.0 : -1.0;
+    if (raw.predict(query)[0] * truth > 0) ++raw_correct;
+    if (standardized.predict(query)[0] * truth > 0) ++std_correct;
+  }
+  EXPECT_GT(std_correct, 90);
+  EXPECT_GT(std_correct, raw_correct);
+}
+
+TEST(Knn, PredictBeforeFitThrows) {
+  KNNRegressor knn;
+  EXPECT_THROW(knn.predict(std::vector<double>{1.0}), bd::CheckError);
+}
+
+TEST(Knn, PredictIntoValidatesSizes) {
+  Dataset d(1, 2);
+  d.add(std::vector<double>{0.0}, std::vector<double>{1.0, 2.0});
+  KNNRegressor knn(KnnConfig{.k = 1});
+  knn.fit(d);
+  std::vector<double> wrong(1);
+  EXPECT_THROW(knn.predict_into(std::vector<double>{0.0}, wrong),
+               bd::CheckError);
+}
+
+}  // namespace
+}  // namespace bd::ml

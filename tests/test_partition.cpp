@@ -1,0 +1,150 @@
+/// Tests for the partition algebra (MERGE-LISTS and the §III-C2
+/// pattern↔partition transforms' building blocks).
+
+#include <gtest/gtest.h>
+
+#include "quad/partition.hpp"
+#include "util/check.hpp"
+
+namespace bd::quad {
+namespace {
+
+TEST(Partition, MergeSortedUnique) {
+  const std::vector<double> a{0.0, 1.0, 2.0};
+  const std::vector<double> b{0.5, 1.0, 3.0};
+  const std::vector<double> m = merge_partitions(a, b);
+  EXPECT_EQ(m, (std::vector<double>{0.0, 0.5, 1.0, 2.0, 3.0}));
+}
+
+TEST(Partition, MergeWithEmpty) {
+  const std::vector<double> a{0.0, 1.0};
+  EXPECT_EQ(merge_partitions(a, {}), a);
+  EXPECT_EQ(merge_partitions({}, a), a);
+}
+
+TEST(Partition, MergeEpsilonDeduplicates) {
+  const std::vector<double> a{0.0, 1.0};
+  const std::vector<double> b{1.0 + 1e-15};
+  const std::vector<double> m = merge_partitions(a, b, 1e-12);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(Partition, MergeOfDyadicPartitionsNests) {
+  // Dyadic partitions of the same interval: the union equals the finer
+  // one — the property the pow2-rounding of COMPUTE-PARTITION exploits.
+  std::vector<double> coarse, fine;
+  for (int i = 0; i <= 4; ++i) coarse.push_back(i / 4.0);
+  for (int i = 0; i <= 8; ++i) fine.push_back(i / 8.0);
+  const std::vector<double> m = merge_partitions(coarse, fine);
+  EXPECT_EQ(m, fine);
+}
+
+TEST(Partition, CountPerSubregionAttributesByMidpoint) {
+  // Subregions of width 1: [0,1), [1,2), [2,3).
+  const std::vector<double> breaks{0.0, 0.25, 0.5, 1.0, 2.0, 2.5, 3.0};
+  const auto counts = count_per_subregion(breaks, 1.0, 3);
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{3, 1, 2}));
+}
+
+TEST(Partition, CountPerSubregionClampsOverhang) {
+  const std::vector<double> breaks{0.0, 5.0};
+  const auto counts = count_per_subregion(breaks, 1.0, 2);
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Partition, CountHandlesDegenerateInputs) {
+  EXPECT_EQ(count_per_subregion({}, 1.0, 3),
+            (std::vector<std::uint32_t>{0, 0, 0}));
+  EXPECT_EQ(count_per_subregion({0.5}, 1.0, 2),
+            (std::vector<std::uint32_t>{0, 0}));
+}
+
+TEST(Partition, FromCountsProducesRequestedStructure) {
+  const std::vector<std::uint32_t> counts{2, 1, 4};
+  const std::vector<double> breaks = partition_from_counts(counts, 1.0, 3.0);
+  EXPECT_TRUE(is_valid_partition(breaks));
+  EXPECT_DOUBLE_EQ(breaks.front(), 0.0);
+  EXPECT_DOUBLE_EQ(breaks.back(), 3.0);
+  EXPECT_EQ(count_per_subregion(breaks, 1.0, 3),
+            (std::vector<std::uint32_t>{2, 1, 4}));
+}
+
+TEST(Partition, FromCountsClipsAtRmax) {
+  const std::vector<std::uint32_t> counts{2, 2, 2, 2};
+  const std::vector<double> breaks = partition_from_counts(counts, 1.0, 2.5);
+  EXPECT_DOUBLE_EQ(breaks.back(), 2.5);
+  EXPECT_TRUE(is_valid_partition(breaks));
+}
+
+TEST(Partition, FromCountsZeroBecomesOne) {
+  const std::vector<std::uint32_t> counts{0, 0};
+  const std::vector<double> breaks = partition_from_counts(counts, 1.0, 2.0);
+  EXPECT_EQ(breaks, (std::vector<double>{0.0, 1.0, 2.0}));
+}
+
+TEST(Partition, RefineSubdividesPreviousIntervals) {
+  // Previous: one interval per unit subregion; target 2 in each.
+  const std::vector<double> previous{0.0, 1.0, 2.0};
+  const std::vector<std::uint32_t> counts{2, 4};
+  const std::vector<double> refined =
+      refine_partition(previous, counts, 1.0, 2.0);
+  EXPECT_TRUE(is_valid_partition(refined));
+  const auto c = count_per_subregion(refined, 1.0, 2);
+  EXPECT_GE(c[0], 2u);
+  EXPECT_GE(c[1], 4u);
+}
+
+TEST(Partition, RefineFallsBackWithoutPrevious) {
+  const std::vector<std::uint32_t> counts{2, 2};
+  const std::vector<double> refined = refine_partition({}, counts, 1.0, 2.0);
+  EXPECT_EQ(refined, partition_from_counts(counts, 1.0, 2.0));
+}
+
+TEST(Partition, ClipInsertsEndpoints) {
+  const std::vector<double> breaks{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> clipped = clip_partition(breaks, 0.5, 2.5);
+  EXPECT_EQ(clipped, (std::vector<double>{0.5, 1.0, 2.0, 2.5}));
+}
+
+TEST(Partition, ClipNonOverlappingIsEmpty) {
+  const std::vector<double> breaks{0.0, 1.0};
+  EXPECT_TRUE(clip_partition(breaks, 2.0, 3.0).empty());
+  EXPECT_TRUE(clip_partition({}, 0.0, 1.0).empty());
+}
+
+TEST(Partition, IsValidPartitionChecksOrdering) {
+  EXPECT_TRUE(is_valid_partition({0.0, 1.0}));
+  EXPECT_FALSE(is_valid_partition({0.0}));
+  EXPECT_FALSE(is_valid_partition({0.0, 0.0}));
+  EXPECT_FALSE(is_valid_partition({1.0, 0.0}));
+}
+
+// Property: for any counts vector, the generated partition is valid and
+// reproduces the counts (when not clipped).
+class CountsRoundTrip
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(CountsRoundTrip, RoundTrips) {
+  const auto counts = GetParam();
+  const double sub_width = 0.7;
+  const double r_max = sub_width * static_cast<double>(counts.size());
+  const std::vector<double> breaks =
+      partition_from_counts(counts, sub_width, r_max);
+  EXPECT_TRUE(is_valid_partition(breaks));
+  const auto round_trip = count_per_subregion(
+      breaks, sub_width, static_cast<std::uint32_t>(counts.size()));
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    EXPECT_EQ(round_trip[j], std::max<std::uint32_t>(1, counts[j])) << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CountsRoundTrip,
+    ::testing::Values(std::vector<std::uint32_t>{1},
+                      std::vector<std::uint32_t>{4, 2, 1},
+                      std::vector<std::uint32_t>{8, 8, 8, 8},
+                      std::vector<std::uint32_t>{1, 16, 2, 32, 4},
+                      std::vector<std::uint32_t>{0, 3, 0, 7}));
+
+}  // namespace
+}  // namespace bd::quad

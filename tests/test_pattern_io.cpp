@@ -1,0 +1,60 @@
+/// Tests for access-pattern persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/pattern_io.hpp"
+#include "util/check.hpp"
+
+namespace bd::core {
+namespace {
+
+class PatternIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "bd_patterns_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(PatternIoTest, RoundTrip) {
+  PatternField field(5, 3);
+  for (std::size_t p = 0; p < 5; ++p) {
+    auto row = field.at(p);
+    for (std::size_t j = 0; j < 3; ++j) {
+      row[j] = static_cast<double>(p) + 0.25 * static_cast<double>(j);
+    }
+  }
+  save_pattern_field(field, path_);
+  const PatternField loaded = load_pattern_field(path_);
+  ASSERT_EQ(loaded.points(), 5u);
+  ASSERT_EQ(loaded.subregions(), 3u);
+  for (std::size_t p = 0; p < 5; ++p) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(loaded.at(p)[j], field.at(p)[j]);
+    }
+  }
+}
+
+TEST_F(PatternIoTest, EmptyFieldRoundTrips) {
+  save_pattern_field(PatternField(0, 4), path_);
+  const PatternField loaded = load_pattern_field(path_);
+  EXPECT_EQ(loaded.points(), 0u);
+  EXPECT_EQ(loaded.subregions(), 4u);
+}
+
+TEST_F(PatternIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_pattern_field("/nonexistent/patterns.csv"),
+               bd::CheckError);
+}
+
+TEST_F(PatternIoTest, MalformedRowThrows) {
+  {
+    std::ofstream out(path_);
+    out << "point,n0,n1\n0,1.0\n";  // short row
+  }
+  EXPECT_THROW(load_pattern_field(path_), bd::CheckError);
+}
+
+}  // namespace
+}  // namespace bd::core

@@ -1,0 +1,45 @@
+/// Tests for the RpProblem / SolveResult plumbing.
+
+#include <gtest/gtest.h>
+
+#include "core/problem.hpp"
+#include "test_helpers.hpp"
+
+namespace bd::core {
+namespace {
+
+TEST(RpProblem, GeometryHelpers) {
+  const bd::testing::ProblemFixture fixture(16, 1e-6, 10);
+  const RpProblem& p = fixture.problem;
+  EXPECT_EQ(p.num_points(), 256u);
+  EXPECT_DOUBLE_EQ(p.r_max(), 10.0);
+  EXPECT_EQ(&p.grid(), &fixture.history->spec());
+}
+
+TEST(RpProblem, PointCoordsRowMajor) {
+  const bd::testing::ProblemFixture fixture(16, 1e-6);
+  const RpProblem& p = fixture.problem;
+  const beam::GridSpec& spec = p.grid();
+  double x = 0.0, y = 0.0;
+  p.point_coords(0, x, y);
+  EXPECT_DOUBLE_EQ(x, spec.x0);
+  EXPECT_DOUBLE_EQ(y, spec.y0);
+  p.point_coords(17, x, y);  // row 1, column 1
+  EXPECT_DOUBLE_EQ(x, spec.x_at(1));
+  EXPECT_DOUBLE_EQ(y, spec.y_at(1));
+  p.point_coords(p.num_points() - 1, x, y);
+  EXPECT_DOUBLE_EQ(x, spec.x_max());
+  EXPECT_DOUBLE_EQ(y, spec.y_max());
+}
+
+TEST(SolveResult, OverallSumsHostAndGpu) {
+  SolveResult r;
+  r.gpu_seconds = 1.0;
+  r.clustering_seconds = 0.25;
+  r.train_seconds = 0.5;
+  r.forecast_seconds = 0.125;
+  EXPECT_DOUBLE_EQ(r.overall_seconds(), 1.875);
+}
+
+}  // namespace
+}  // namespace bd::core

@@ -1,0 +1,71 @@
+/// Tests for the roofline model utilities (Fig. 4).
+
+#include <gtest/gtest.h>
+
+#include "simt/roofline.hpp"
+#include "util/check.hpp"
+
+namespace bd::simt {
+namespace {
+
+TEST(Roofline, MemoryRoofBelowRidge) {
+  const DeviceSpec spec = tesla_k40();
+  EXPECT_DOUBLE_EQ(attainable_gflops(spec, 1.0), spec.measured_bw_gbs);
+  EXPECT_DOUBLE_EQ(attainable_gflops(spec, 2.0), 2.0 * spec.measured_bw_gbs);
+}
+
+TEST(Roofline, ComputeRoofAboveRidge) {
+  const DeviceSpec spec = tesla_k40();
+  EXPECT_DOUBLE_EQ(attainable_gflops(spec, 100.0), spec.peak_dp_gflops);
+}
+
+TEST(Roofline, RidgePointConsistent) {
+  const DeviceSpec spec = tesla_k40();
+  const double ridge = spec.ridge_ai();
+  EXPECT_NEAR(attainable_gflops(spec, ridge), spec.peak_dp_gflops,
+              spec.peak_dp_gflops * 1e-12);
+  EXPECT_LT(attainable_gflops(spec, ridge * 0.99), spec.peak_dp_gflops);
+}
+
+TEST(Roofline, TheoreticalRoofHigher) {
+  const DeviceSpec spec = tesla_k40();
+  EXPECT_GT(attainable_gflops_theoretical(spec, 1.0),
+            attainable_gflops(spec, 1.0));
+}
+
+TEST(Roofline, MakePointComputesFractions) {
+  const DeviceSpec spec = tesla_k40();
+  KernelMetrics m;
+  m.flops = 2'000'000'000;
+  m.dram_bytes = 1'000'000'000;  // AI = 2
+  m.modeled_seconds = 10.0;      // 0.2 GF/s (absurdly slow)
+  const RooflinePoint p = make_point("test", m, spec);
+  EXPECT_EQ(p.label, "test");
+  EXPECT_DOUBLE_EQ(p.arithmetic_intensity, 2.0);
+  EXPECT_DOUBLE_EQ(p.attainable_gflops, 2.0 * spec.measured_bw_gbs);
+  EXPECT_NEAR(p.roof_fraction, 0.2 / 400.0, 1e-12);
+}
+
+TEST(Roofline, SampleSeriesIsLogSpacedAndMonotone) {
+  const DeviceSpec spec = tesla_k40();
+  const auto samples = sample_roofline(spec, 0.125, 32.0, 9);
+  ASSERT_EQ(samples.size(), 9u);
+  EXPECT_NEAR(samples.front().ai, 0.125, 1e-12);
+  EXPECT_NEAR(samples.back().ai, 32.0, 1e-9);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].ai, samples[i - 1].ai);
+    EXPECT_GE(samples[i].roof_measured, samples[i - 1].roof_measured);
+    // log-spacing: constant ratio
+    EXPECT_NEAR(samples[i].ai / samples[i - 1].ai, 2.0, 1e-9);
+  }
+}
+
+TEST(Roofline, SampleValidatesArguments) {
+  const DeviceSpec spec = tesla_k40();
+  EXPECT_THROW(sample_roofline(spec, 0.0, 1.0, 5), CheckError);
+  EXPECT_THROW(sample_roofline(spec, 2.0, 1.0, 5), CheckError);
+  EXPECT_THROW(sample_roofline(spec, 1.0, 2.0, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace bd::simt

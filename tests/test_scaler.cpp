@@ -1,0 +1,96 @@
+/// Tests for the feature standardizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/scaler.hpp"
+#include "util/check.hpp"
+
+namespace bd::ml {
+namespace {
+
+Dataset two_column_data() {
+  Dataset d(2, 1);
+  // Column 0: mean 10, column 1: mean -1.
+  d.add(std::vector<double>{8.0, -2.0}, std::vector<double>{0.0});
+  d.add(std::vector<double>{10.0, -1.0}, std::vector<double>{0.0});
+  d.add(std::vector<double>{12.0, 0.0}, std::vector<double>{0.0});
+  return d;
+}
+
+TEST(Scaler, FitComputesMoments) {
+  StandardScaler scaler;
+  scaler.fit(two_column_data());
+  ASSERT_TRUE(scaler.fitted());
+  EXPECT_NEAR(scaler.means()[0], 10.0, 1e-12);
+  EXPECT_NEAR(scaler.means()[1], -1.0, 1e-12);
+  EXPECT_NEAR(scaler.stds()[0], std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(Scaler, TransformCentersAndScales) {
+  StandardScaler scaler;
+  scaler.fit(two_column_data());
+  std::vector<double> v{10.0, -1.0};
+  scaler.transform(v);
+  EXPECT_NEAR(v[0], 0.0, 1e-12);
+  EXPECT_NEAR(v[1], 0.0, 1e-12);
+}
+
+TEST(Scaler, InverseRoundTrips) {
+  StandardScaler scaler;
+  scaler.fit(two_column_data());
+  std::vector<double> v{12.5, 0.25};
+  std::vector<double> original = v;
+  scaler.transform(v);
+  scaler.inverse_transform(v);
+  EXPECT_NEAR(v[0], original[0], 1e-12);
+  EXPECT_NEAR(v[1], original[1], 1e-12);
+}
+
+TEST(Scaler, ConstantColumnLeftUnscaled) {
+  Dataset d(1, 1);
+  d.add(std::vector<double>{5.0}, std::vector<double>{0.0});
+  d.add(std::vector<double>{5.0}, std::vector<double>{0.0});
+  StandardScaler scaler;
+  scaler.fit(d);
+  std::vector<double> v{7.0};
+  scaler.transform(v);
+  EXPECT_NEAR(v[0], 2.0, 1e-12);  // centered, not divided by ~0
+}
+
+TEST(Scaler, FitRowsMatchesFitDataset) {
+  const Dataset d = two_column_data();
+  StandardScaler s1, s2;
+  s1.fit(d);
+  std::vector<double> rows;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    rows.insert(rows.end(), d.features(i).begin(), d.features(i).end());
+  }
+  s2.fit_rows(rows, 2);
+  EXPECT_NEAR(s1.means()[0], s2.means()[0], 1e-12);
+  EXPECT_NEAR(s1.stds()[1], s2.stds()[1], 1e-12);
+}
+
+TEST(Scaler, ErrorsOnMisuse) {
+  StandardScaler scaler;
+  std::vector<double> v{1.0};
+  EXPECT_THROW(scaler.transform(v), bd::CheckError);
+  EXPECT_THROW(scaler.fit(Dataset(1, 1)), bd::CheckError);
+  scaler.fit(two_column_data());
+  std::vector<double> wrong{1.0};
+  EXPECT_THROW(scaler.transform(wrong), bd::CheckError);
+}
+
+TEST(Scaler, TransformedCopies) {
+  StandardScaler scaler;
+  scaler.fit(two_column_data());
+  const std::vector<double> v{8.0, -2.0};
+  const std::vector<double> t = scaler.transformed(v);
+  EXPECT_DOUBLE_EQ(v[0], 8.0);  // input untouched
+  EXPECT_LT(t[0], 0.0);
+}
+
+}  // namespace
+}  // namespace bd::ml

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Plot the CSV series the benchmark harnesses emit.
+
+Usage:  tools/plot_results.py [results_dir]
+
+Reads fig2.csv / fig3.csv / fig4.csv / table1.csv / table2.csv (whichever
+exist) from the given directory (default: cwd) and writes matching .png
+plots next to them. Requires matplotlib.
+"""
+
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def main():
+    directory = sys.argv[1] if len(sys.argv) > 1 else "."
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    def out(name):
+        return os.path.join(directory, name)
+
+    fig2 = os.path.join(directory, "fig2.csv")
+    if os.path.exists(fig2):
+        rows = read_csv(fig2)
+        s = [float(r["s"]) for r in rows]
+        fig, axes = plt.subplots(1, 2, figsize=(11, 4))
+        axes[0].plot(s, [float(r["longitudinal_analytic"]) for r in rows],
+                     "k-", label="analytic")
+        axes[0].plot(s, [float(r["longitudinal_computed"]) for r in rows],
+                     "r.", ms=3, label="computed")
+        axes[0].set_title("longitudinal force (Fig. 2 left)")
+        axes[1].plot(s, [float(r["transverse_analytic"]) for r in rows],
+                     "k-", label="analytic")
+        axes[1].plot(s, [float(r["transverse_computed"]) for r in rows],
+                     "r.", ms=3, label="computed")
+        axes[1].set_title("transverse force (Fig. 2 right)")
+        for ax in axes:
+            ax.set_xlabel("s / σ_s")
+            ax.legend()
+        fig.tight_layout()
+        fig.savefig(out("fig2.png"), dpi=150)
+        print("wrote fig2.png")
+
+    fig3 = os.path.join(directory, "fig3.csv")
+    if os.path.exists(fig3):
+        rows = read_csv(fig3)
+        n = [float(r["particles"]) for r in rows]
+        fig, ax = plt.subplots(figsize=(5.5, 4))
+        ax.loglog(n, [float(r["mse_mc"]) for r in rows], "o-",
+                  label="MSE (Monte-Carlo)")
+        if "mse_analytic" in rows[0]:
+            ax.loglog(n, [float(r["mse_analytic"]) for r in rows], "s--",
+                      label="MSE vs analytic")
+        ax.loglog(n, [float(rows[0]["mse_mc"]) * float(rows[0]["particles"]) / x
+                      for x in n], "k:", label="∝ 1/N")
+        ax.set_xlabel("N particles")
+        ax.set_ylabel("force MSE")
+        ax.set_title("Monte-Carlo convergence (Fig. 3)")
+        ax.legend()
+        fig.tight_layout()
+        fig.savefig(out("fig3.png"), dpi=150)
+        print("wrote fig3.png")
+
+    fig4 = os.path.join(directory, "fig4.csv")
+    if os.path.exists(fig4):
+        rows = read_csv(fig4)
+        fig, ax = plt.subplots(figsize=(5.5, 4))
+        ai_lo, ai_hi = 0.125, 4096.0
+        peak, bw = 1430.0, 200.0
+        ais, roofs = [], []
+        ai = ai_lo
+        while ai <= ai_hi:
+            ais.append(ai)
+            roofs.append(min(peak, ai * bw))
+            ai *= 2
+        ax.loglog(ais, roofs, "k-", label="roofline (measured BW)")
+        for r in rows:
+            ax.loglog([float(r["ai"])], [float(r["gflops"])], "o",
+                      label=r["kernel"])
+        ax.set_xlabel("arithmetic intensity (flops / DRAM byte)")
+        ax.set_ylabel("GFlop/s")
+        ax.set_title("roofline (Fig. 4)")
+        ax.legend(fontsize=8)
+        fig.tight_layout()
+        fig.savefig(out("fig4.png"), dpi=150)
+        print("wrote fig4.png")
+
+    table2 = os.path.join(directory, "table2.csv")
+    if os.path.exists(table2):
+        rows = read_csv(table2)
+        fig, ax = plt.subplots(figsize=(5.5, 4))
+        grids = [r["grid"] for r in rows]
+        ax.bar(range(len(rows)), [float(r["speedup_gpu"]) for r in rows])
+        ax.set_xticks(range(len(rows)))
+        ax.set_xticklabels([f'{g}²' for g in grids])
+        ax.axhline(1.0, color="k", lw=0.5)
+        ax.set_ylabel("Predictive-RP speedup over Heuristic-RP")
+        ax.set_title("stage speedup (Table II)")
+        fig.tight_layout()
+        fig.savefig(out("table2.png"), dpi=150)
+        print("wrote table2.png")
+
+
+if __name__ == "__main__":
+    main()
