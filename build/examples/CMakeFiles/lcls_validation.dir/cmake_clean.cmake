@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcls_validation.dir/lcls_validation.cpp.o"
+  "CMakeFiles/lcls_validation.dir/lcls_validation.cpp.o.d"
+  "lcls_validation"
+  "lcls_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcls_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

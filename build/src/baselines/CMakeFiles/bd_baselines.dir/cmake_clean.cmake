@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_baselines.dir/heuristic.cpp.o"
+  "CMakeFiles/bd_baselines.dir/heuristic.cpp.o.d"
+  "CMakeFiles/bd_baselines.dir/two_phase.cpp.o"
+  "CMakeFiles/bd_baselines.dir/two_phase.cpp.o.d"
+  "libbd_baselines.a"
+  "libbd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/beam/analytic.cpp" "src/beam/CMakeFiles/bd_beam.dir/analytic.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/analytic.cpp.o.d"
+  "/root/repo/src/beam/bunch.cpp" "src/beam/CMakeFiles/bd_beam.dir/bunch.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/bunch.cpp.o.d"
+  "/root/repo/src/beam/deposit.cpp" "src/beam/CMakeFiles/bd_beam.dir/deposit.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/deposit.cpp.o.d"
+  "/root/repo/src/beam/diagnostics.cpp" "src/beam/CMakeFiles/bd_beam.dir/diagnostics.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/beam/force.cpp" "src/beam/CMakeFiles/bd_beam.dir/force.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/force.cpp.o.d"
+  "/root/repo/src/beam/grid.cpp" "src/beam/CMakeFiles/bd_beam.dir/grid.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/grid.cpp.o.d"
+  "/root/repo/src/beam/history.cpp" "src/beam/CMakeFiles/bd_beam.dir/history.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/history.cpp.o.d"
+  "/root/repo/src/beam/particles.cpp" "src/beam/CMakeFiles/bd_beam.dir/particles.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/particles.cpp.o.d"
+  "/root/repo/src/beam/push.cpp" "src/beam/CMakeFiles/bd_beam.dir/push.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/push.cpp.o.d"
+  "/root/repo/src/beam/stencil.cpp" "src/beam/CMakeFiles/bd_beam.dir/stencil.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/stencil.cpp.o.d"
+  "/root/repo/src/beam/wake.cpp" "src/beam/CMakeFiles/bd_beam.dir/wake.cpp.o" "gcc" "src/beam/CMakeFiles/bd_beam.dir/wake.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/bd_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/quad/CMakeFiles/bd_quad.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_beam.dir/analytic.cpp.o"
+  "CMakeFiles/bd_beam.dir/analytic.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/bunch.cpp.o"
+  "CMakeFiles/bd_beam.dir/bunch.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/deposit.cpp.o"
+  "CMakeFiles/bd_beam.dir/deposit.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/diagnostics.cpp.o"
+  "CMakeFiles/bd_beam.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/force.cpp.o"
+  "CMakeFiles/bd_beam.dir/force.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/grid.cpp.o"
+  "CMakeFiles/bd_beam.dir/grid.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/history.cpp.o"
+  "CMakeFiles/bd_beam.dir/history.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/particles.cpp.o"
+  "CMakeFiles/bd_beam.dir/particles.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/push.cpp.o"
+  "CMakeFiles/bd_beam.dir/push.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/stencil.cpp.o"
+  "CMakeFiles/bd_beam.dir/stencil.cpp.o.d"
+  "CMakeFiles/bd_beam.dir/wake.cpp.o"
+  "CMakeFiles/bd_beam.dir/wake.cpp.o.d"
+  "libbd_beam.a"
+  "libbd_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

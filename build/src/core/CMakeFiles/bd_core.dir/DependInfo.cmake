@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_pattern.cpp" "src/core/CMakeFiles/bd_core.dir/access_pattern.cpp.o" "gcc" "src/core/CMakeFiles/bd_core.dir/access_pattern.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/bd_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/bd_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/forecast.cpp" "src/core/CMakeFiles/bd_core.dir/forecast.cpp.o" "gcc" "src/core/CMakeFiles/bd_core.dir/forecast.cpp.o.d"
+  "/root/repo/src/core/pattern_io.cpp" "src/core/CMakeFiles/bd_core.dir/pattern_io.cpp.o" "gcc" "src/core/CMakeFiles/bd_core.dir/pattern_io.cpp.o.d"
+  "/root/repo/src/core/predictive.cpp" "src/core/CMakeFiles/bd_core.dir/predictive.cpp.o" "gcc" "src/core/CMakeFiles/bd_core.dir/predictive.cpp.o.d"
+  "/root/repo/src/core/rp_kernels.cpp" "src/core/CMakeFiles/bd_core.dir/rp_kernels.cpp.o" "gcc" "src/core/CMakeFiles/bd_core.dir/rp_kernels.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/bd_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/bd_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/bd_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/bd_core.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/bd_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/quad/CMakeFiles/bd_quad.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/beam/CMakeFiles/bd_beam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

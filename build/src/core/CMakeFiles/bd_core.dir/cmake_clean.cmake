@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_core.dir/access_pattern.cpp.o"
+  "CMakeFiles/bd_core.dir/access_pattern.cpp.o.d"
+  "CMakeFiles/bd_core.dir/clustering.cpp.o"
+  "CMakeFiles/bd_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/bd_core.dir/forecast.cpp.o"
+  "CMakeFiles/bd_core.dir/forecast.cpp.o.d"
+  "CMakeFiles/bd_core.dir/pattern_io.cpp.o"
+  "CMakeFiles/bd_core.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/bd_core.dir/predictive.cpp.o"
+  "CMakeFiles/bd_core.dir/predictive.cpp.o.d"
+  "CMakeFiles/bd_core.dir/rp_kernels.cpp.o"
+  "CMakeFiles/bd_core.dir/rp_kernels.cpp.o.d"
+  "CMakeFiles/bd_core.dir/simulation.cpp.o"
+  "CMakeFiles/bd_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/bd_core.dir/solver.cpp.o"
+  "CMakeFiles/bd_core.dir/solver.cpp.o.d"
+  "libbd_core.a"
+  "libbd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/bd_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/bd_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/kdtree.cpp" "src/ml/CMakeFiles/bd_ml.dir/kdtree.cpp.o" "gcc" "src/ml/CMakeFiles/bd_ml.dir/kdtree.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/bd_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/bd_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/bd_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/bd_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/bd_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/bd_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/linreg.cpp" "src/ml/CMakeFiles/bd_ml.dir/linreg.cpp.o" "gcc" "src/ml/CMakeFiles/bd_ml.dir/linreg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/bd_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/bd_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/online.cpp" "src/ml/CMakeFiles/bd_ml.dir/online.cpp.o" "gcc" "src/ml/CMakeFiles/bd_ml.dir/online.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/bd_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/bd_ml.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

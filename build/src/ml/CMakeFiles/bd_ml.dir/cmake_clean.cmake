@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_ml.dir/dataset.cpp.o"
+  "CMakeFiles/bd_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/bd_ml.dir/kdtree.cpp.o"
+  "CMakeFiles/bd_ml.dir/kdtree.cpp.o.d"
+  "CMakeFiles/bd_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/bd_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/bd_ml.dir/knn.cpp.o"
+  "CMakeFiles/bd_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/bd_ml.dir/linalg.cpp.o"
+  "CMakeFiles/bd_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/bd_ml.dir/linreg.cpp.o"
+  "CMakeFiles/bd_ml.dir/linreg.cpp.o.d"
+  "CMakeFiles/bd_ml.dir/metrics.cpp.o"
+  "CMakeFiles/bd_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/bd_ml.dir/online.cpp.o"
+  "CMakeFiles/bd_ml.dir/online.cpp.o.d"
+  "CMakeFiles/bd_ml.dir/scaler.cpp.o"
+  "CMakeFiles/bd_ml.dir/scaler.cpp.o.d"
+  "libbd_ml.a"
+  "libbd_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quad/adaptive.cpp" "src/quad/CMakeFiles/bd_quad.dir/adaptive.cpp.o" "gcc" "src/quad/CMakeFiles/bd_quad.dir/adaptive.cpp.o.d"
+  "/root/repo/src/quad/gauss.cpp" "src/quad/CMakeFiles/bd_quad.dir/gauss.cpp.o" "gcc" "src/quad/CMakeFiles/bd_quad.dir/gauss.cpp.o.d"
+  "/root/repo/src/quad/newton_cotes.cpp" "src/quad/CMakeFiles/bd_quad.dir/newton_cotes.cpp.o" "gcc" "src/quad/CMakeFiles/bd_quad.dir/newton_cotes.cpp.o.d"
+  "/root/repo/src/quad/partition.cpp" "src/quad/CMakeFiles/bd_quad.dir/partition.cpp.o" "gcc" "src/quad/CMakeFiles/bd_quad.dir/partition.cpp.o.d"
+  "/root/repo/src/quad/simpson.cpp" "src/quad/CMakeFiles/bd_quad.dir/simpson.cpp.o" "gcc" "src/quad/CMakeFiles/bd_quad.dir/simpson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/bd_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_quad.dir/adaptive.cpp.o"
+  "CMakeFiles/bd_quad.dir/adaptive.cpp.o.d"
+  "CMakeFiles/bd_quad.dir/gauss.cpp.o"
+  "CMakeFiles/bd_quad.dir/gauss.cpp.o.d"
+  "CMakeFiles/bd_quad.dir/newton_cotes.cpp.o"
+  "CMakeFiles/bd_quad.dir/newton_cotes.cpp.o.d"
+  "CMakeFiles/bd_quad.dir/partition.cpp.o"
+  "CMakeFiles/bd_quad.dir/partition.cpp.o.d"
+  "CMakeFiles/bd_quad.dir/simpson.cpp.o"
+  "CMakeFiles/bd_quad.dir/simpson.cpp.o.d"
+  "libbd_quad.a"
+  "libbd_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

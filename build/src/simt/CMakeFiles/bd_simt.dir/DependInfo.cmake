@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/cache.cpp" "src/simt/CMakeFiles/bd_simt.dir/cache.cpp.o" "gcc" "src/simt/CMakeFiles/bd_simt.dir/cache.cpp.o.d"
+  "/root/repo/src/simt/coalescer.cpp" "src/simt/CMakeFiles/bd_simt.dir/coalescer.cpp.o" "gcc" "src/simt/CMakeFiles/bd_simt.dir/coalescer.cpp.o.d"
+  "/root/repo/src/simt/executor.cpp" "src/simt/CMakeFiles/bd_simt.dir/executor.cpp.o" "gcc" "src/simt/CMakeFiles/bd_simt.dir/executor.cpp.o.d"
+  "/root/repo/src/simt/metrics.cpp" "src/simt/CMakeFiles/bd_simt.dir/metrics.cpp.o" "gcc" "src/simt/CMakeFiles/bd_simt.dir/metrics.cpp.o.d"
+  "/root/repo/src/simt/report.cpp" "src/simt/CMakeFiles/bd_simt.dir/report.cpp.o" "gcc" "src/simt/CMakeFiles/bd_simt.dir/report.cpp.o.d"
+  "/root/repo/src/simt/roofline.cpp" "src/simt/CMakeFiles/bd_simt.dir/roofline.cpp.o" "gcc" "src/simt/CMakeFiles/bd_simt.dir/roofline.cpp.o.d"
+  "/root/repo/src/simt/timemodel.cpp" "src/simt/CMakeFiles/bd_simt.dir/timemodel.cpp.o" "gcc" "src/simt/CMakeFiles/bd_simt.dir/timemodel.cpp.o.d"
+  "/root/repo/src/simt/trace.cpp" "src/simt/CMakeFiles/bd_simt.dir/trace.cpp.o" "gcc" "src/simt/CMakeFiles/bd_simt.dir/trace.cpp.o.d"
+  "/root/repo/src/simt/warp.cpp" "src/simt/CMakeFiles/bd_simt.dir/warp.cpp.o" "gcc" "src/simt/CMakeFiles/bd_simt.dir/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_simt.dir/cache.cpp.o"
+  "CMakeFiles/bd_simt.dir/cache.cpp.o.d"
+  "CMakeFiles/bd_simt.dir/coalescer.cpp.o"
+  "CMakeFiles/bd_simt.dir/coalescer.cpp.o.d"
+  "CMakeFiles/bd_simt.dir/executor.cpp.o"
+  "CMakeFiles/bd_simt.dir/executor.cpp.o.d"
+  "CMakeFiles/bd_simt.dir/metrics.cpp.o"
+  "CMakeFiles/bd_simt.dir/metrics.cpp.o.d"
+  "CMakeFiles/bd_simt.dir/report.cpp.o"
+  "CMakeFiles/bd_simt.dir/report.cpp.o.d"
+  "CMakeFiles/bd_simt.dir/roofline.cpp.o"
+  "CMakeFiles/bd_simt.dir/roofline.cpp.o.d"
+  "CMakeFiles/bd_simt.dir/timemodel.cpp.o"
+  "CMakeFiles/bd_simt.dir/timemodel.cpp.o.d"
+  "CMakeFiles/bd_simt.dir/trace.cpp.o"
+  "CMakeFiles/bd_simt.dir/trace.cpp.o.d"
+  "CMakeFiles/bd_simt.dir/warp.cpp.o"
+  "CMakeFiles/bd_simt.dir/warp.cpp.o.d"
+  "libbd_simt.a"
+  "libbd_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bd_util.dir/cli.cpp.o"
+  "CMakeFiles/bd_util.dir/cli.cpp.o.d"
+  "CMakeFiles/bd_util.dir/csv.cpp.o"
+  "CMakeFiles/bd_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bd_util.dir/log.cpp.o"
+  "CMakeFiles/bd_util.dir/log.cpp.o.d"
+  "CMakeFiles/bd_util.dir/rng.cpp.o"
+  "CMakeFiles/bd_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bd_util.dir/stats.cpp.o"
+  "CMakeFiles/bd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bd_util.dir/table.cpp.o"
+  "CMakeFiles/bd_util.dir/table.cpp.o.d"
+  "libbd_util.a"
+  "libbd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_pattern.dir/test_access_pattern.cpp.o"
+  "CMakeFiles/test_access_pattern.dir/test_access_pattern.cpp.o.d"
+  "test_access_pattern"
+  "test_access_pattern.pdb"
+  "test_access_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

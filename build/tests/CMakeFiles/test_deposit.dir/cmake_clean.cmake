@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deposit.dir/test_deposit.cpp.o"
+  "CMakeFiles/test_deposit.dir/test_deposit.cpp.o.d"
+  "test_deposit"
+  "test_deposit.pdb"
+  "test_deposit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deposit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_force_push.dir/test_force_push.cpp.o"
+  "CMakeFiles/test_force_push.dir/test_force_push.cpp.o.d"
+  "test_force_push"
+  "test_force_push.pdb"
+  "test_force_push[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_force_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kdtree.dir/test_kdtree.cpp.o"
+  "CMakeFiles/test_kdtree.dir/test_kdtree.cpp.o.d"
+  "test_kdtree"
+  "test_kdtree.pdb"
+  "test_kdtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knn.dir/test_knn.cpp.o"
+  "CMakeFiles/test_knn.dir/test_knn.cpp.o.d"
+  "test_knn"
+  "test_knn.pdb"
+  "test_knn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_metrics.dir/test_ml_metrics.cpp.o"
+  "CMakeFiles/test_ml_metrics.dir/test_ml_metrics.cpp.o.d"
+  "test_ml_metrics"
+  "test_ml_metrics.pdb"
+  "test_ml_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

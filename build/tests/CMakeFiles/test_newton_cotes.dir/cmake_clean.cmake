@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_newton_cotes.dir/test_newton_cotes.cpp.o"
+  "CMakeFiles/test_newton_cotes.dir/test_newton_cotes.cpp.o.d"
+  "test_newton_cotes"
+  "test_newton_cotes.pdb"
+  "test_newton_cotes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_newton_cotes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_newton_cotes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_particles.dir/test_particles.cpp.o"
+  "CMakeFiles/test_particles.dir/test_particles.cpp.o.d"
+  "test_particles"
+  "test_particles.pdb"
+  "test_particles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

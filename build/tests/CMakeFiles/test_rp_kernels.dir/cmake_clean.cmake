@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rp_kernels.dir/test_rp_kernels.cpp.o"
+  "CMakeFiles/test_rp_kernels.dir/test_rp_kernels.cpp.o.d"
+  "test_rp_kernels"
+  "test_rp_kernels.pdb"
+  "test_rp_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpson.dir/test_simpson.cpp.o"
+  "CMakeFiles/test_simpson.dir/test_simpson.cpp.o.d"
+  "test_simpson"
+  "test_simpson.pdb"
+  "test_simpson[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timemodel.dir/test_timemodel.cpp.o"
+  "CMakeFiles/test_timemodel.dir/test_timemodel.cpp.o.d"
+  "test_timemodel"
+  "test_timemodel.pdb"
+  "test_timemodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

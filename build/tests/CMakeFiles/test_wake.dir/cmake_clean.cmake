@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wake.dir/test_wake.cpp.o"
+  "CMakeFiles/test_wake.dir/test_wake.cpp.o.d"
+  "test_wake"
+  "test_wake.pdb"
+  "test_wake[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
