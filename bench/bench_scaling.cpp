@@ -1,0 +1,160 @@
+/// Wall-clock scaling of the host-side SIMT executor: one Predictive-RP
+/// scenario run at 1/2/4/N pool threads. The dominant cost of every step is
+/// lane execution inside COMPUTE-RP-INTEGRAL and the adaptive fallback
+/// (executor pass 1), which parallelizes over blocks; forecasting and
+/// clustering also run on the pool. Results — and every KernelMetrics
+/// counter — are bit-for-bit identical across thread counts (see
+/// tests/test_determinism.cpp); only the host wall clock moves.
+///
+/// Emits BENCH_scaling.json: per thread count, host seconds per phase and
+/// the speedup of the compute-rp-integral phase over the 1-thread run.
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "beam/analytic.hpp"
+#include "beam/history.hpp"
+#include "beam/units.hpp"
+#include "core/predictive.hpp"
+#include "simt/device.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace bd;
+
+/// The rp-problem of the benchmark: a continuum-filled Gaussian moment
+/// history (no Monte-Carlo noise, so every thread count sees identical
+/// work), sized so the kernel dominates.
+struct Scenario {
+  beam::GridSpec spec;
+  beam::BeamParams params;
+  beam::WakeModel model;
+  beam::Grid2D rho;
+  beam::Grid2D grad;
+  std::unique_ptr<beam::GridHistory> history;
+  core::RpProblem problem;
+
+  explicit Scenario(std::uint32_t n = 48, std::uint32_t subregions = 12)
+      : spec(beam::make_centered_grid(n, n, 6.0, 6.0)),
+        model(beam::WakeModel::longitudinal()),
+        rho(spec),
+        grad(spec) {
+    for (std::uint32_t iy = 0; iy < spec.ny; ++iy) {
+      for (std::uint32_t ix = 0; ix < spec.nx; ++ix) {
+        const double x = spec.x_at(ix);
+        const double y = spec.y_at(iy);
+        rho.at(ix, iy) = beam::gaussian_pdf(x, params.sigma_s) *
+                         beam::gaussian_pdf(y, params.sigma_y);
+        grad.at(ix, iy) = beam::gaussian_pdf_prime(x, params.sigma_s) *
+                          beam::gaussian_pdf(y, params.sigma_y);
+      }
+    }
+    history = std::make_unique<beam::GridHistory>(spec, subregions + 4);
+    history->fill_all(100, rho, grad);
+    problem.history = history.get();
+    problem.model = &model;
+    problem.step = 100;
+    problem.sub_width = 1.0;
+    problem.num_subregions = subregions;
+    problem.tolerance = 1e-6;
+  }
+
+  void advance() {
+    history->push_step(history->latest_step() + 1, rho, grad);
+    problem.step = history->latest_step();
+  }
+};
+
+struct PhaseSeconds {
+  double total = 0.0;      ///< solve() wall
+  double kernel = 0.0;     ///< compute-rp-integral + fallback (total - host)
+  double forecast = 0.0;
+  double clustering = 0.0;
+  double train = 0.0;
+};
+
+PhaseSeconds run_at(unsigned threads, std::size_t steps) {
+  util::ThreadPool::set_global_threads(threads);
+  Scenario scenario;
+  core::PredictiveSolver solver(simt::tesla_k40(), {});
+  PhaseSeconds acc;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const core::SolveResult r = solver.solve(scenario.problem);
+    acc.total += r.wall_seconds;
+    acc.forecast += r.forecast_seconds;
+    acc.clustering += r.clustering_seconds;
+    acc.train += r.train_seconds;
+    acc.kernel += r.wall_seconds - r.forecast_seconds -
+                  r.clustering_seconds - r.train_seconds;
+    scenario.advance();
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> counts{1, 2, 4};
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  std::sort(counts.begin(), counts.end());
+
+  constexpr std::size_t kSteps = 4;  // bootstrap + 3 predictive steps
+
+  std::printf("SIMT executor scaling — Predictive-RP, %zu steps, "
+              "%u hardware threads\n\n", kSteps, hw);
+  std::printf("%8s  %10s  %10s  %10s  %10s  %10s  %8s\n", "threads",
+              "total s", "kernel s", "forecast s", "cluster s", "train s",
+              "speedup");
+
+  std::vector<PhaseSeconds> results;
+  for (unsigned t : counts) results.push_back(run_at(t, kSteps));
+  util::ThreadPool::set_global_threads(0);
+
+  const double kernel_1t = results.front().kernel;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const PhaseSeconds& r = results[i];
+    std::printf("%8u  %10.4f  %10.4f  %10.4f  %10.4f  %10.4f  %7.2fx\n",
+                counts[i], r.total, r.kernel, r.forecast, r.clustering,
+                r.train, kernel_1t / std::max(1e-12, r.kernel));
+  }
+
+  FILE* json = std::fopen("BENCH_scaling.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_scaling.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"benchmark\": \"simt-executor-scaling\",\n");
+  std::fprintf(json, "  \"scenario\": \"predictive-rp 48x48, 12 subregions, "
+                     "%zu steps\",\n", kSteps);
+  std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(json, "  \"phase\": \"COMPUTE-RP-INTEGRAL (kernel column = "
+                     "compute-rp-integral + adaptive fallback host "
+                     "seconds)\",\n");
+  std::fprintf(json, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const PhaseSeconds& r = results[i];
+    std::fprintf(json,
+                 "    {\"threads\": %u, \"total_seconds\": %.6f, "
+                 "\"kernel_seconds\": %.6f, \"forecast_seconds\": %.6f, "
+                 "\"clustering_seconds\": %.6f, \"train_seconds\": %.6f, "
+                 "\"kernel_speedup_vs_1t\": %.4f}%s\n",
+                 counts[i], r.total, r.kernel, r.forecast, r.clustering,
+                 r.train, kernel_1t / std::max(1e-12, r.kernel),
+                 i + 1 < counts.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_scaling.json\n");
+  if (hw == 1) {
+    std::printf("note: single hardware thread — speedups are bounded by "
+                "1.0 here; run on a multi-core host to see scaling.\n");
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace bd::beam {
 
@@ -59,17 +60,14 @@ inline double deposit_ngp(Grid2D& rho, const GridSpec& spec, double x,
   return 0.0;
 }
 
-}  // namespace
-
-double deposit(const ParticleSet& particles, DepositScheme scheme,
-               Grid2D& rho) {
-  const GridSpec& spec = rho.spec();
-  BD_CHECK(spec.nodes() > 0);
-  const double density = particles.weight() / (spec.dx * spec.dy);
+/// Deposit particles [begin, end) into `rho` in particle order.
+double deposit_range(const ParticleSet& particles, DepositScheme scheme,
+                     const GridSpec& spec, double density, std::size_t begin,
+                     std::size_t end, Grid2D& rho) {
   const auto s = particles.s();
   const auto y = particles.y();
   double dropped = 0.0;
-  for (std::size_t i = 0; i < particles.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     switch (scheme) {
       case DepositScheme::kNGP:
         dropped += deposit_ngp(rho, spec, s[i], y[i], density);
@@ -81,6 +79,51 @@ double deposit(const ParticleSet& particles, DepositScheme scheme,
         dropped += deposit_tsc(rho, spec, s[i], y[i], density);
         break;
     }
+  }
+  return dropped;
+}
+
+/// Particles per parallel deposition chunk. Fixed (not derived from the
+/// thread count) so the chunk boundaries — and therefore the floating-point
+/// summation tree — are identical for any BD_NUM_THREADS.
+constexpr std::size_t kDepositChunk = 16384;
+
+}  // namespace
+
+double deposit(const ParticleSet& particles, DepositScheme scheme,
+               Grid2D& rho) {
+  const GridSpec& spec = rho.spec();
+  BD_CHECK(spec.nodes() > 0);
+  const double density = particles.weight() / (spec.dx * spec.dy);
+  const std::size_t count = particles.size();
+
+  const std::size_t num_chunks = (count + kDepositChunk - 1) / kDepositChunk;
+  if (num_chunks <= 1) {
+    return deposit_range(particles, scheme, spec, density, 0, count, rho);
+  }
+
+  // Scatter with conflicts: chunks deposit into private partial grids in
+  // parallel, then the partials are reduced into `rho` serially in chunk
+  // order. Chunking is fixed, so the result is bit-identical for any
+  // thread count (though the partial-sum tree differs from a single serial
+  // pass by FP rounding).
+  std::vector<Grid2D> partial(num_chunks, Grid2D(spec));
+  std::vector<double> dropped_per_chunk(num_chunks, 0.0);
+  util::parallel_for(0, num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kDepositChunk;
+    const std::size_t end = std::min(count, begin + kDepositChunk);
+    dropped_per_chunk[c] = deposit_range(particles, scheme, spec, density,
+                                         begin, end, partial[c]);
+  });
+
+  double dropped = 0.0;
+  auto rho_data = rho.data();
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const auto chunk_data = partial[c].data();
+    for (std::size_t n = 0; n < rho_data.size(); ++n) {
+      rho_data[n] += chunk_data[n];
+    }
+    dropped += dropped_per_chunk[c];
   }
   return dropped;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace bd::beam {
 
@@ -35,10 +36,11 @@ void gather_forces(const Grid2D& field, const ParticleSet& particles,
   BD_CHECK(out.size() == particles.size());
   const auto s = particles.s();
   const auto y = particles.y();
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < particles.size(); ++i) {
+  // Each particle writes only out[i]; reads are const. Bit-identical for
+  // any thread count.
+  util::parallel_for(0, particles.size(), [&](std::size_t i) {
     out[i] = interpolate_tsc(field, s[i], y[i]);
-  }
+  });
 }
 
 }  // namespace bd::beam

@@ -5,6 +5,7 @@
 #include "core/rp_kernels.hpp"
 #include "quad/partition.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace bd::core {
@@ -73,16 +74,16 @@ PatternField PredictiveSolver::forecast(const RpProblem& problem) const {
                "forecast requires a trained predictor");
   const std::size_t num_points = problem.num_points();
   PatternField predicted(num_points, problem.num_subregions);
-  // The paper parallelizes this per-point loop with OpenMP (§IV-A);
-  // predict_into is const and reentrant.
-#pragma omp parallel for schedule(static)
-  for (std::size_t p = 0; p < num_points; ++p) {
+  // The paper parallelizes this per-point loop on the host (§IV-A);
+  // predict_into is const and reentrant, and each point writes only its
+  // own pattern row — bit-identical for any thread count.
+  util::parallel_for(0, num_points, [&](std::size_t p) {
     double features[kFeatureDim];
     problem.point_coords(p, features[0], features[1]);
     features[2] = static_cast<double>(problem.step);
     predictor_->predict_into(std::span<const double>(features, kFeatureDim),
                              predicted.at(p));
-  }
+  });
   return predicted;
 }
 
@@ -97,7 +98,7 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   const bool use_adaptive =
       options_.transform == PartitionTransform::kAdaptive &&
       previous_partitions_.size() == num_points;
-  for (std::size_t p = 0; p < num_points; ++p) {
+  util::parallel_for(0, num_points, [&](std::size_t p) {
     point_partitions[p] =
         use_adaptive
             ? pattern_to_partition_adaptive(predicted.at(p),
@@ -106,7 +107,7 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
                                             problem.r_max())
             : pattern_to_partition(predicted.at(p), problem.sub_width,
                                    problem.r_max());
-  }
+  });
   const double forecast_seconds = forecast_timer.seconds();
 
   // (3) RP-CLUSTERING on the forecast patterns. Cluster count: the paper

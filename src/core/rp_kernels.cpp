@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cmath>
 
 #include "beam/wake.hpp"
 #include "quad/adaptive.hpp"
@@ -62,8 +61,11 @@ RpKernelOutput run_compute_rp_integral(const simt::DeviceSpec& device,
   launch.num_blocks = static_cast<std::uint32_t>(clusters.members.size());
   launch.threads_per_block = block_dim;
 
-  // Per-block failure lists (blocks never interleave within an SM, so this
-  // is race-free even if the executor parallelizes over SMs).
+  // Per-block failure lists. The executor may run lanes from different
+  // blocks concurrently but runs each block's lanes serially on one thread
+  // (see executor.hpp), so per-block accumulators are race-free. Writes to
+  // out.integral/out.error/contributions are per-point, and every point
+  // belongs to exactly one cluster (= block), so those stay per-block too.
   std::vector<std::vector<FailedInterval>> failed_per_block(
       clusters.members.size());
   std::vector<std::uint64_t> intervals_per_block(clusters.members.size(), 0);
@@ -151,6 +153,15 @@ FallbackOutput run_adaptive_fallback(const simt::DeviceSpec& device,
   std::vector<std::uint8_t> non_converged(failed.size(), 0);
   out.intervals_per_item.assign(failed.size(), 0);
 
+  // Distinct items may share a point, and the executor runs lanes from
+  // different blocks concurrently — so the kernel only writes per-item
+  // slots (one lane per item); the read-modify-write into the per-point
+  // arrays happens in the deterministic serial reduction below. (A CUDA
+  // port would use atomics instead.)
+  std::vector<double> integral_per_item(failed.size(), 0.0);
+  std::vector<double> error_per_item(failed.size(), 0.0);
+  std::vector<std::vector<std::uint32_t>> counts_per_item(failed.size());
+
   auto kernel = [&](const simt::ThreadCtx& ctx, simt::LaneProbe& probe) {
     if (ctx.global_id >= failed.size()) {
       probe.loop_trip(simt::site_id("quad/adaptive/worklist"), 0);
@@ -165,16 +176,10 @@ FallbackOutput run_adaptive_fallback(const simt::DeviceSpec& device,
     const quad::AdaptiveResult result =
         quad::adaptive_simpson(integrand, item.a, item.b, tol, probe);
 
-    // NOTE: distinct items may share a point; the serial executor makes the
-    // read-modify-write safe (a CUDA port would use atomics here).
-    integral[item.point] += result.integral;
-    error[item.point] += result.error;
-    const std::vector<std::uint32_t> counts = quad::count_per_subregion(
+    integral_per_item[ctx.global_id] = result.integral;
+    error_per_item[ctx.global_id] = result.error;
+    counts_per_item[ctx.global_id] = quad::count_per_subregion(
         result.breakpoints, problem.sub_width, problem.num_subregions);
-    auto contrib = contributions.at(item.point);
-    for (std::size_t j = 0; j < counts.size(); ++j) {
-      contrib[j] += static_cast<double>(counts[j]);
-    }
     evals_per_item[ctx.global_id] = result.evaluations;
     non_converged[ctx.global_id] = result.converged ? 0 : 1;
     out.intervals_per_item[ctx.global_id] =
@@ -182,7 +187,17 @@ FallbackOutput run_adaptive_fallback(const simt::DeviceSpec& device,
   };
 
   out.metrics = simt::launch(device, launch, kernel);
+
+  // Serial reduction in item order: deterministic for any thread count.
   for (std::size_t i = 0; i < failed.size(); ++i) {
+    const FailedInterval& item = failed[i];
+    integral[item.point] += integral_per_item[i];
+    error[item.point] += error_per_item[i];
+    auto contrib = contributions.at(item.point);
+    const std::vector<std::uint32_t>& counts = counts_per_item[i];
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      contrib[j] += static_cast<double>(counts[j]);
+    }
     out.evaluations += evals_per_item[i];
     out.non_converged += non_converged[i];
   }

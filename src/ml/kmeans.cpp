@@ -7,6 +7,7 @@
 
 #include "ml/linalg.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace bd::ml {
 
@@ -81,7 +82,11 @@ KMeansResult kmeans(std::span<const double> points, std::size_t count,
     result.inertia = 0.0;
 
     if (!config.balanced) {
-      for (std::size_t i = 0; i < count; ++i) {
+      // Assignment: each point's nearest centroid is independent, so it
+      // runs on the thread pool; sizes and inertia are reduced serially in
+      // point order afterwards (deterministic for any thread count).
+      std::vector<double> best_d(count);
+      util::parallel_for(0, count, [&](std::size_t i) {
         auto p = point_at(points, dim, i);
         double best = std::numeric_limits<double>::max();
         std::uint32_t best_c = 0;
@@ -95,8 +100,11 @@ KMeansResult kmeans(std::span<const double> points, std::size_t count,
           }
         }
         result.assignment[i] = best_c;
-        ++result.sizes[best_c];
-        result.inertia += best;
+        best_d[i] = best;
+      });
+      for (std::size_t i = 0; i < count; ++i) {
+        ++result.sizes[result.assignment[i]];
+        result.inertia += best_d[i];
       }
     } else {
       // Balanced assignment: process points in order of how much they care
@@ -104,7 +112,7 @@ KMeansResult kmeans(std::span<const double> points, std::size_t count,
       std::vector<std::size_t> order(count);
       std::iota(order.begin(), order.end(), 0);
       std::vector<double> urgency(count);
-      for (std::size_t i = 0; i < count; ++i) {
+      util::parallel_for(0, count, [&](std::size_t i) {
         double best = std::numeric_limits<double>::max();
         double second = std::numeric_limits<double>::max();
         for (std::size_t c = 0; c < k; ++c) {
@@ -119,7 +127,7 @@ KMeansResult kmeans(std::span<const double> points, std::size_t count,
           }
         }
         urgency[i] = second - best;
-      }
+      });
       std::stable_sort(order.begin(), order.end(),
                        [&](std::size_t a, std::size_t b) {
                          return urgency[a] > urgency[b];
@@ -202,7 +210,7 @@ std::vector<std::uint32_t> assign_balanced(std::span<const double> points,
   std::vector<double> urgency(count);
   std::vector<std::size_t> order(count);
   std::iota(order.begin(), order.end(), 0);
-  for (std::size_t i = 0; i < count; ++i) {
+  util::parallel_for(0, count, [&](std::size_t i) {
     double best = std::numeric_limits<double>::max();
     double second = std::numeric_limits<double>::max();
     for (std::size_t c = 0; c < k; ++c) {
@@ -216,7 +224,7 @@ std::vector<std::uint32_t> assign_balanced(std::span<const double> points,
       }
     }
     urgency[i] = second - best;
-  }
+  });
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
                      return urgency[a] > urgency[b];

@@ -5,8 +5,22 @@
 #include "simt/trace.hpp"
 #include "simt/warp.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace bd::simt {
+
+namespace {
+
+/// Everything pass 1 produces for one block: the analysis counters of its
+/// warps and the coalesced transaction streams pass 2 replays. Divergence
+/// and coalescing are per-warp properties, so they are computed inside the
+/// parallel pass; only the cache state is global and stays serial.
+struct BlockOutput {
+  KernelMetrics analysis;
+  std::vector<WarpReplay> replays;  // one per warp, warp-major order
+};
+
+}  // namespace
 
 KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
                      const KernelFn& kernel) {
@@ -16,7 +30,51 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
                "threads per block out of range");
   BD_CHECK(kernel != nullptr);
 
-  // Per-SM private L1 caches; one shared L2.
+  const std::uint32_t warps_per_block =
+      (config.threads_per_block + spec.warp_size - 1) / spec.warp_size;
+  const std::uint32_t resident = std::max<std::uint32_t>(
+      1, spec.resident_warps_per_sm / warps_per_block);
+
+  // --- Pass 1 (parallel): execute lanes, analyze warps -------------------
+  // One task per block. Lanes within a block run serially in lane order on
+  // one thread; lanes from different blocks may run concurrently (the
+  // contract kernels must obey, see executor.hpp). Each task owns its lane
+  // traces and accumulates divergence/coalescing counters into a private
+  // KernelMetrics, so pass 1 shares no mutable state between tasks.
+  std::vector<BlockOutput> blocks(config.num_blocks);
+  util::parallel_for(0, config.num_blocks, [&](std::size_t b) {
+    BlockOutput& out = blocks[b];
+    const auto block = static_cast<std::uint32_t>(b);
+    std::vector<LaneTrace> traces(spec.warp_size);
+    out.replays.reserve(warps_per_block);
+    for (std::uint32_t warp = 0; warp < warps_per_block; ++warp) {
+      const std::uint32_t lane_begin = warp * spec.warp_size;
+      const std::uint32_t lane_end = std::min(
+          lane_begin + spec.warp_size, config.threads_per_block);
+      std::vector<const LaneTrace*> warp_traces;
+      warp_traces.reserve(lane_end - lane_begin);
+      for (std::uint32_t t = lane_begin; t < lane_end; ++t) {
+        LaneTrace& trace = traces[t - lane_begin];
+        trace.reset();
+        ThreadCtx ctx;
+        ctx.block_id = block;
+        ctx.thread_id = t;
+        ctx.global_id = block * config.threads_per_block + t;
+        kernel(ctx, trace);
+        warp_traces.push_back(&trace);
+      }
+      out.replays.push_back(
+          analyze_warp_groups(warp_traces, spec, out.analysis));
+    }
+  });
+
+  // --- Pass 2 (serial): replay memory traffic through the caches --------
+  // Identical to the serial executor: blocks are distributed round-robin
+  // over SMs (block b runs on SM b % num_sms); on each SM, groups of
+  // `resident` consecutive blocks are co-resident and their warps' streams
+  // interleave in the private L1. Replaying in this fixed SM-major order
+  // keeps every cache transition — and therefore KernelMetrics —
+  // bit-for-bit independent of how pass 1 was scheduled.
   std::vector<SetAssocCache> l1_caches;
   l1_caches.reserve(spec.num_sms);
   for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
@@ -27,17 +85,6 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
   KernelMetrics metrics;
   metrics.warp_size = spec.warp_size;
 
-  const std::uint32_t warps_per_block =
-      (config.threads_per_block + spec.warp_size - 1) / spec.warp_size;
-  const std::uint32_t resident = std::max<std::uint32_t>(
-      1, spec.resident_warps_per_sm / warps_per_block);
-
-  // Reusable lane traces for one warp.
-  std::vector<LaneTrace> traces(spec.warp_size);
-
-  // Blocks are distributed round-robin over SMs (block b runs on SM
-  // b % num_sms). On each SM, groups of `resident` consecutive blocks are
-  // co-resident: their warps' memory streams interleave in the private L1.
   for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
     SetAssocCache& l1 = l1_caches[sm];
     std::vector<std::uint32_t> my_blocks;
@@ -52,26 +99,13 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
       std::vector<WarpReplay> replays;
       replays.reserve((chunk_end - chunk) * warps_per_block);
       for (std::size_t bi = chunk; bi < chunk_end; ++bi) {
-        const std::uint32_t block = my_blocks[bi];
-        for (std::uint32_t warp = 0; warp < warps_per_block; ++warp) {
-          const std::uint32_t lane_begin = warp * spec.warp_size;
-          const std::uint32_t lane_end = std::min(
-              lane_begin + spec.warp_size, config.threads_per_block);
-          std::vector<const LaneTrace*> warp_traces;
-          warp_traces.reserve(lane_end - lane_begin);
-          for (std::uint32_t t = lane_begin; t < lane_end; ++t) {
-            LaneTrace& trace = traces[t - lane_begin];
-            trace.reset();
-            ThreadCtx ctx;
-            ctx.block_id = block;
-            ctx.thread_id = t;
-            ctx.global_id = block * config.threads_per_block + t;
-            kernel(ctx, trace);
-            warp_traces.push_back(&trace);
-          }
-          replays.push_back(
-              analyze_warp_groups(warp_traces, spec, metrics));
+        BlockOutput& out = blocks[my_blocks[bi]];
+        metrics += out.analysis;
+        for (WarpReplay& replay : out.replays) {
+          replays.push_back(std::move(replay));
         }
+        out.replays.clear();
+        out.replays.shrink_to_fit();  // free trace memory as we go
       }
       replay_interleaved(replays, spec, l1, l2, metrics);
     }

@@ -6,6 +6,26 @@
 /// replayed through per-SM L1 caches and the shared L2. Blocks are assigned
 /// to SMs round-robin, matching the hardware's greedy block scheduler
 /// closely enough for aggregate cache statistics.
+///
+/// Execution is a two-pass pipeline:
+///
+///  1. *Lane execution* (parallel): kernel lambdas run and warps are
+///     analyzed for divergence/coalescing block by block on the process
+///     thread pool (util/parallel.hpp, BD_NUM_THREADS). This is where all
+///     the quadrature time goes.
+///  2. *Cache replay* (serial): each warp's coalesced transaction stream is
+///     replayed through the per-SM L1s and the shared L2 in the fixed
+///     SM-major block order of the serial executor, so cache state — and
+///     every KernelMetrics counter — is independent of pass-1 scheduling.
+///
+/// Lane-concurrency contract (what kernel bodies must obey, mirroring a
+/// real GPU): lanes from *different blocks* may execute concurrently; lanes
+/// within one block run serially in lane order on a single thread. A kernel
+/// may therefore freely mutate state indexed by block_id / thread_id /
+/// global_id, but writes to state shared across blocks (e.g. accumulating
+/// into a per-point array when two blocks can touch the same point) must be
+/// restructured as per-block or per-item partials reduced serially after
+/// launch() returns — see core/rp_kernels.cpp.
 
 #include <cstdint>
 #include <functional>
@@ -36,8 +56,10 @@ using KernelFn = std::function<void(const ThreadCtx&, LaneProbe&)>;
 /// Execute the kernel under the SIMT model and return profiler-style
 /// metrics with the modeled kernel time already applied.
 ///
-/// Deterministic: identical inputs produce identical metrics (blocks are
-/// processed in a fixed SM-major order).
+/// Deterministic: identical inputs produce identical metrics — bit for bit,
+/// for any BD_NUM_THREADS — because divergence/coalescing counters are
+/// integer sums over warps and the cache replay always runs serially in the
+/// fixed SM-major block order.
 KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
                      const KernelFn& kernel);
 

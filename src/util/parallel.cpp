@@ -1,0 +1,216 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace bd::util {
+
+namespace {
+/// Set while a thread is executing pool work; nested loops detect it and
+/// run serially instead of re-entering the pool.
+thread_local bool tls_in_pool_work = false;
+}  // namespace
+
+unsigned configured_threads() {
+  if (const char* env = std::getenv("BD_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// One fork-join loop in flight. `next` hands out chunks; `active` counts
+/// workers currently inside work_on (guarded by the pool mutex).
+struct ThreadPool::Job {
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  const ChunkFn* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  int active = 0;                 // guarded by Impl::mu
+  std::exception_ptr error;       // guarded by Impl::mu
+};
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable wake;   // workers: new job or shutdown
+  std::condition_variable done;   // caller: job quiesced
+  Job* job = nullptr;             // guarded by mu
+  std::uint64_t generation = 0;   // guarded by mu; bumps per job
+  bool stop = false;              // guarded by mu
+  std::vector<std::thread> workers;
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
+  const unsigned lanes = threads > 0 ? threads : 1;
+  impl_->workers.reserve(lanes - 1);
+  for (unsigned i = 0; i + 1 < lanes; ++i) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+unsigned ThreadPool::num_threads() const {
+  return static_cast<unsigned>(impl_->workers.size()) + 1;
+}
+
+void ThreadPool::work_on(Job& job) {
+  for (;;) {
+    if (job.abort.load(std::memory_order_relaxed)) break;
+    const std::size_t lo =
+        job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (lo >= job.end) break;
+    const std::size_t hi = std::min(job.end, lo + job.grain);
+    (*job.body)(lo, hi);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_pool_work = true;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  for (;;) {
+    impl_->wake.wait(
+        lk, [&] { return impl_->stop || impl_->generation != seen; });
+    if (impl_->stop) return;
+    seen = impl_->generation;
+    Job* job = impl_->job;
+    if (job == nullptr) continue;  // job already quiesced
+    ++job->active;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      work_on(*job);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    if (err) {
+      if (!job->error) job->error = err;
+      job->abort.store(true, std::memory_order_relaxed);
+    }
+    if (--job->active == 0) impl_->done.notify_all();
+  }
+}
+
+void ThreadPool::for_chunks(std::size_t begin, std::size_t end,
+                            std::size_t grain, const ChunkFn& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  // Serial fast paths: one lane, a nested call from inside pool work, or a
+  // range that fits in a single chunk anyway.
+  if (impl_->workers.empty() || tls_in_pool_work || end - begin <= grain) {
+    std::size_t lo = begin;
+    while (lo < end) {
+      const std::size_t hi = std::min(end, lo + grain);
+      body(lo, hi);
+      lo = hi;
+    }
+    return;
+  }
+
+  Job job;
+  job.end = end;
+  job.grain = grain;
+  job.body = &body;
+  job.next.store(begin, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->job = &job;
+    ++impl_->generation;
+  }
+  impl_->wake.notify_all();
+
+  const bool was_in_pool_work = tls_in_pool_work;
+  tls_in_pool_work = true;
+  std::exception_ptr caller_err;
+  try {
+    work_on(job);
+  } catch (...) {
+    caller_err = std::current_exception();
+  }
+  tls_in_pool_work = was_in_pool_work;
+
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    if (caller_err) {
+      if (!job.error) job.error = caller_err;
+      job.abort.store(true, std::memory_order_relaxed);
+    }
+    impl_->done.wait(lk, [&] {
+      return job.active == 0 &&
+             (job.next.load(std::memory_order_relaxed) >= job.end ||
+              job.abort.load(std::memory_order_relaxed));
+    });
+    impl_->job = nullptr;  // late wakers see no job and go back to sleep
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(configured_threads());
+  return *g_pool;
+}
+
+void ThreadPool::set_global_threads(unsigned threads) {
+  BD_CHECK_MSG(!tls_in_pool_work,
+               "cannot resize the global pool from inside pool work");
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool.reset();  // joins the old workers before the new pool spawns
+  g_pool = std::make_unique<ThreadPool>(
+      threads > 0 ? threads : configured_threads());
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t n = end - begin;
+  const std::size_t grain =
+      std::max<std::size_t>(1, n / (static_cast<std::size_t>(
+                                        pool.num_threads()) *
+                                    4));
+  pool.for_chunks(begin, end, grain,
+                  [&fn](std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i) fn(i);
+                  });
+}
+
+void parallel_for_chunked(std::size_t begin, std::size_t end,
+                          std::size_t grain,
+                          const ThreadPool::ChunkFn& body) {
+  if (end <= begin) return;
+  ThreadPool& pool = ThreadPool::global();
+  if (grain == 0) {
+    grain = std::max<std::size_t>(
+        1, (end - begin) /
+               (static_cast<std::size_t>(pool.num_threads()) * 4));
+  }
+  pool.for_chunks(begin, end, grain, body);
+}
+
+}  // namespace bd::util

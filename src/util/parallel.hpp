@@ -1,0 +1,94 @@
+#pragma once
+/// \file parallel.hpp
+/// The one host-parallelism primitive of the codebase: a persistent
+/// fork-join thread pool with atomic-counter chunk scheduling.
+///
+/// Every parallel host phase — the SIMT executor's lane-execution pass,
+/// force gathering, pattern forecasting, k-means assignment, particle
+/// deposition — runs through `parallel_for` / `parallel_for_chunked` on the
+/// process-wide pool, so thread budget and scheduling policy live in one
+/// place.
+///
+/// Thread count: `BD_NUM_THREADS` environment variable if set (> 0),
+/// otherwise `std::thread::hardware_concurrency()`. At 1 thread every loop
+/// degenerates to a plain serial loop on the calling thread (no pool
+/// traffic at all), so single-threaded runs carry no synchronization cost.
+///
+/// Guarantees:
+///  * The calling thread participates in the work (a pool of N threads is
+///    the caller plus N-1 workers).
+///  * Exceptions thrown by the body are captured (first one wins), the
+///    remaining chunks are abandoned, and the exception is rethrown on the
+///    calling thread once the loop has quiesced.
+///  * Nested parallel loops (a body issuing another parallel_for) execute
+///    the inner loop serially on the calling worker — no deadlock, no
+///    oversubscription.
+///  * Scheduling is chunked by an atomic counter; *which* thread runs a
+///    chunk is nondeterministic, so bodies must only write state disjoint
+///    per index/chunk. Callers that need bit-for-bit reproducible floating
+///    point reductions across thread counts must pick chunk boundaries
+///    independent of the thread count and reduce the per-chunk partials
+///    serially (see beam/deposit.cpp).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace bd::util {
+
+/// Thread count the process is configured for: BD_NUM_THREADS if set and
+/// positive, else std::thread::hardware_concurrency() (min 1).
+unsigned configured_threads();
+
+class ThreadPool {
+ public:
+  /// Body of a chunked loop: invoked as body(lo, hi) over [lo, hi).
+  using ChunkFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Spawns `threads - 1` workers (the caller is the remaining lane).
+  explicit ThreadPool(unsigned threads = configured_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes including the calling thread (>= 1).
+  unsigned num_threads() const;
+
+  /// Run body over [begin, end) in chunks of at most `grain` indices.
+  /// Chunks are claimed from an atomic counter in ascending order; the
+  /// caller participates and the call returns only after every chunk has
+  /// finished (or been abandoned after an exception).
+  void for_chunks(std::size_t begin, std::size_t end, std::size_t grain,
+                  const ChunkFn& body);
+
+  /// The process-wide pool (lazily built with configured_threads()).
+  static ThreadPool& global();
+
+  /// Replace the global pool with one of `threads` lanes (0 = re-read the
+  /// environment). Only safe while no parallel work is in flight; intended
+  /// for tests and benchmark drivers that sweep thread counts.
+  static void set_global_threads(unsigned threads);
+
+ private:
+  struct Job;
+  struct Impl;
+
+  void worker_loop();
+  static void work_on(Job& job);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+/// parallel_for over the global pool: fn(i) for every i in [begin, end).
+/// fn must be safe to call concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Chunked parallel_for over the global pool: body(lo, hi) for consecutive
+/// subranges of [begin, end) of at most `grain` indices. With grain == 0 a
+/// grain is chosen from the pool size.
+void parallel_for_chunked(std::size_t begin, std::size_t end,
+                          std::size_t grain, const ThreadPool::ChunkFn& body);
+
+}  // namespace bd::util

@@ -1,0 +1,162 @@
+/// The executor determinism contract: simt::launch and the solvers built
+/// on it must produce bit-for-bit identical results for any thread count
+/// (BD_NUM_THREADS=1 vs 8 here). Divergence/coalescing counters are summed
+/// per warp in the parallel pass; the cache replay is serial in fixed
+/// SM-major order; kernels accumulate per-item partials reduced serially.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/predictive.hpp"
+#include "simt/device.hpp"
+#include "simt/executor.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+namespace bd {
+namespace {
+
+/// Bit-for-bit comparison of every KernelMetrics field the paper reports.
+void expect_identical(const simt::KernelMetrics& a,
+                      const simt::KernelMetrics& b) {
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.warp_instructions, b.warp_instructions);
+  EXPECT_EQ(a.active_lane_slots, b.active_lane_slots);
+  EXPECT_EQ(a.lane_slots, b.lane_slots);
+  EXPECT_EQ(a.branch_events, b.branch_events);
+  EXPECT_EQ(a.divergent_branches, b.divergent_branches);
+  EXPECT_EQ(a.load_instructions, b.load_instructions);
+  EXPECT_EQ(a.bytes_requested, b.bytes_requested);
+  EXPECT_EQ(a.bytes_transferred, b.bytes_transferred);
+  EXPECT_EQ(a.l1_transactions, b.l1_transactions);
+  EXPECT_EQ(a.l1.hits, b.l1.hits);
+  EXPECT_EQ(a.l1.misses, b.l1.misses);
+  EXPECT_EQ(a.l2.hits, b.l2.hits);
+  EXPECT_EQ(a.l2.misses, b.l2.misses);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+  // Exact equality on purpose: the replay and time model must see the same
+  // counters in the same order regardless of threading.
+  EXPECT_EQ(a.modeled_seconds, b.modeled_seconds);
+  EXPECT_EQ(a.warp_execution_efficiency(), b.warp_execution_efficiency());
+  EXPECT_EQ(a.l1_hit_rate(), b.l1_hit_rate());
+}
+
+simt::KernelMetrics run_synthetic_launch() {
+  const simt::DeviceSpec spec = simt::tesla_k40();
+  static std::vector<double> data(1 << 16, 1.0);
+  constexpr std::uint32_t kLoad = simt::site_id("determinism/load");
+  constexpr std::uint32_t kLoop = simt::site_id("determinism/loop");
+  constexpr std::uint32_t kBranch = simt::site_id("determinism/branch");
+  return simt::launch(
+      spec, simt::LaunchConfig{64, 128},
+      [&](const simt::ThreadCtx& ctx, simt::LaneProbe& probe) {
+        // Scattered loads, data-dependent trips and branches: exercises
+        // coalescing, divergence accounting and both cache levels.
+        const std::size_t base = (ctx.global_id * 193) % (data.size() - 64);
+        probe.load(kLoad, &data[base], 8);
+        probe.load(kLoad, &data[(base * 7) % (data.size() - 8)], 8);
+        probe.loop_trip(kLoop, 1 + ctx.thread_id % 17);
+        probe.branch(kBranch, (ctx.global_id % 3) == 0);
+        probe.count_flops(10 + ctx.thread_id % 5);
+      });
+}
+
+TEST(Determinism, ExecutorMetricsIdenticalAcrossThreadCounts) {
+  util::ThreadPool::set_global_threads(1);
+  const simt::KernelMetrics serial = run_synthetic_launch();
+  util::ThreadPool::set_global_threads(8);
+  const simt::KernelMetrics parallel = run_synthetic_launch();
+  util::ThreadPool::set_global_threads(0);
+  expect_identical(serial, parallel);
+}
+
+struct SolverRun {
+  std::vector<double> values;
+  std::vector<double> errors;
+  std::vector<double> observed;
+  simt::KernelMetrics metrics;
+  std::uint64_t fallback_items = 0;
+  std::uint64_t kernel_intervals = 0;
+};
+
+/// One fixture shared by both runs: recorded load addresses come from the
+/// history grids, so the cache replay only matches bit-for-bit when both
+/// runs sample the *same* allocations. reset_history() rewinds the ring
+/// buffer content in place (no reallocation of the grid storage).
+testing::ProblemFixture& shared_fixture() {
+  static testing::ProblemFixture fixture(16, 1e-6, 12);
+  return fixture;
+}
+
+void reset_history(testing::ProblemFixture& fixture) {
+  beam::Grid2D rho(fixture.spec), grad(fixture.spec);
+  for (std::uint32_t iy = 0; iy < fixture.spec.ny; ++iy) {
+    for (std::uint32_t ix = 0; ix < fixture.spec.nx; ++ix) {
+      const double x = fixture.spec.x_at(ix);
+      const double y = fixture.spec.y_at(iy);
+      rho.at(ix, iy) = beam::gaussian_pdf(x, fixture.params.sigma_s) *
+                       beam::gaussian_pdf(y, fixture.params.sigma_y);
+      grad.at(ix, iy) =
+          beam::gaussian_pdf_prime(x, fixture.params.sigma_s) *
+          beam::gaussian_pdf(y, fixture.params.sigma_y);
+    }
+  }
+  fixture.history->fill_all(100, rho, grad);
+  fixture.problem.step = 100;
+}
+
+/// Three Predictive-RP steps (bootstrap + 2 predictive: forecast,
+/// clustering, merged kernel, adaptive fallback, online learning).
+SolverRun run_predictive() {
+  testing::ProblemFixture& fixture = shared_fixture();
+  reset_history(fixture);
+  core::PredictiveSolver solver(simt::tesla_k40(), {});
+  core::SolveResult last;
+  for (int step = 0; step < 3; ++step) {
+    last = solver.solve(fixture.problem);
+    fixture.advance();
+  }
+  SolverRun run;
+  run.values.assign(last.values.data().begin(), last.values.data().end());
+  run.errors.assign(last.errors.data().begin(), last.errors.data().end());
+  run.observed.assign(last.observed.flat().begin(),
+                      last.observed.flat().end());
+  run.metrics = last.metrics;
+  run.fallback_items = last.fallback_items;
+  run.kernel_intervals = last.kernel_intervals;
+  return run;
+}
+
+TEST(Determinism, PredictiveSolverBitwiseIdenticalAcrossThreadCounts) {
+  util::ThreadPool::set_global_threads(1);
+  const SolverRun serial = run_predictive();
+  util::ThreadPool::set_global_threads(8);
+  const SolverRun parallel = run_predictive();
+  util::ThreadPool::set_global_threads(0);
+
+  expect_identical(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.fallback_items, parallel.fallback_items);
+  EXPECT_EQ(serial.kernel_intervals, parallel.kernel_intervals);
+
+  ASSERT_EQ(serial.values.size(), parallel.values.size());
+  for (std::size_t i = 0; i < serial.values.size(); ++i) {
+    ASSERT_EQ(serial.values[i], parallel.values[i]) << "point " << i;
+    ASSERT_EQ(serial.errors[i], parallel.errors[i]) << "point " << i;
+  }
+  ASSERT_EQ(serial.observed.size(), parallel.observed.size());
+  for (std::size_t i = 0; i < serial.observed.size(); ++i) {
+    ASSERT_EQ(serial.observed[i], parallel.observed[i]) << "entry " << i;
+  }
+}
+
+TEST(Determinism, RepeatedParallelRunsIdentical) {
+  util::ThreadPool::set_global_threads(8);
+  const simt::KernelMetrics a = run_synthetic_launch();
+  const simt::KernelMetrics b = run_synthetic_launch();
+  util::ThreadPool::set_global_threads(0);
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace bd

@@ -1,0 +1,137 @@
+/// Tests for the util thread pool: coverage, chunking, serial fallback,
+/// nesting, and exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace bd::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(10000);
+  pool.for_chunks(0, visits.size(), 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.for_chunks(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  pool.for_chunks(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleThreadFallbackIsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.for_chunks(0, 10, 3, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (std::size_t i = lo; i < hi; ++i) order.push_back(i);
+  });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);  // serial path preserves index order
+}
+
+TEST(ThreadPool, ChunksPartitionTheRange) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<int> chunks{0};
+  pool.for_chunks(100, 1000, 128, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LT(lo, hi);
+    EXPECT_LE(hi - lo, 128u);
+    std::uint64_t s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += i;
+    total += s;
+    ++chunks;
+  });
+  std::uint64_t expected = 0;
+  for (std::size_t i = 100; i < 1000; ++i) expected += i;
+  EXPECT_EQ(total.load(), expected);
+  EXPECT_GE(chunks.load(), static_cast<int>((1000 - 100) / 128));
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_chunks(0, 1000, 1,
+                      [&](std::size_t lo, std::size_t) {
+                        if (lo == 17) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+  // Pool must stay usable after an exception.
+  std::atomic<int> count{0};
+  pool.for_chunks(0, 100, 10,
+                  [&](std::size_t lo, std::size_t hi) {
+                    count += static_cast<int>(hi - lo);
+                  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedLoopsSerializeWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(32 * 32);
+  pool.for_chunks(0, 32, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t outer = lo; outer < hi; ++outer) {
+      // Inner loop must run inline on this worker (no pool re-entry).
+      pool.for_chunks(0, 32, 4, [&](std::size_t ilo, std::size_t ihi) {
+        for (std::size_t inner = ilo; inner < ihi; ++inner) {
+          ++visits[outer * 32 + inner];
+        }
+      });
+    }
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, GlobalHelpersCoverRange) {
+  ThreadPool::set_global_threads(4);
+  std::vector<std::atomic<int>> visits(5000);
+  parallel_for(0, visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+
+  std::atomic<std::uint64_t> total{0};
+  parallel_for_chunked(0, 5000, 0, [&](std::size_t lo, std::size_t hi) {
+    std::uint64_t s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += i;
+    total += s;
+  });
+  EXPECT_EQ(total.load(), 5000ull * 4999ull / 2ull);
+  ThreadPool::set_global_threads(0);  // back to the configured default
+}
+
+TEST(ParallelFor, ConfiguredThreadsReadsEnvironment) {
+  ::setenv("BD_NUM_THREADS", "3", 1);
+  EXPECT_EQ(configured_threads(), 3u);
+  ::setenv("BD_NUM_THREADS", "not-a-number", 1);
+  EXPECT_GE(configured_threads(), 1u);  // falls back to hardware
+  ::unsetenv("BD_NUM_THREADS");
+  EXPECT_GE(configured_threads(), 1u);
+}
+
+TEST(ThreadPool, ManySmallJobsBackToBack) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.for_chunks(0, 64, 1, [&](std::size_t lo, std::size_t hi) {
+      count += static_cast<int>(hi - lo);
+    });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace bd::util

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
+# pass over the concurrency-sensitive tests (thread pool, SIMT executor,
+# rp-kernels/solvers, deposition, k-means) with an oversubscribed pool
+# (BD_NUM_THREADS=8) so cross-thread interleavings actually happen.
+#
+# Usage: tools/ci.sh [tier1|tsan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+
+tier1() {
+  echo "=== tier-1: build + ctest (preset: default) ==="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)"
+  ctest --preset default -j "$(nproc)"
+}
+
+tsan() {
+  echo "=== tsan: executor/solver tests under ThreadSanitizer ==="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)" --target \
+    test_parallel test_determinism test_executor test_rp_kernels \
+    test_solvers test_deposit test_kmeans
+  ctest --preset tsan -j 1
+}
+
+case "$stage" in
+  tier1) tier1 ;;
+  tsan) tsan ;;
+  all) tier1; tsan ;;
+  *) echo "unknown stage: $stage (want tier1|tsan|all)" >&2; exit 2 ;;
+esac
+echo "CI ($stage) OK"
