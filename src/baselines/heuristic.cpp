@@ -7,17 +7,23 @@
 #include "core/forecast.hpp"
 #include "core/rp_kernels.hpp"
 #include "quad/partition.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace bd::baselines {
+
+namespace telemetry = bd::util::telemetry;
 
 core::SolveResult HeuristicSolver::solve(const core::RpProblem& problem) {
   util::WallTimer wall;
   const std::size_t num_points = problem.num_points();
   const bool bootstrap = previous_partitions_.size() != num_points;
 
+  telemetry::TraceSession& session = telemetry::TraceSession::global();
+
   // Heuristic 1: start from last step's partitions.
   util::WallTimer forecast_timer;
+  const double reuse_start = session.enabled() ? session.now_us() : 0.0;
   std::vector<std::vector<double>> point_partitions;
   if (bootstrap) {
     const std::vector<double> coarse = core::pattern_to_partition(
@@ -28,10 +34,15 @@ core::SolveResult HeuristicSolver::solve(const core::RpProblem& problem) {
     point_partitions = previous_partitions_;
   }
   const double forecast_seconds = forecast_timer.seconds();
+  if (session.enabled()) {
+    session.record_complete("heuristic.partition_reuse", "baselines",
+                            reuse_start, session.now_us() - reuse_start, "");
+  }
 
   // Heuristic 2: coarse workload buckets (log2 of the partition size),
   // row-major within each bucket.
   util::WallTimer cluster_timer;
+  const double sort_start = session.enabled() ? session.now_us() : 0.0;
   core::ClusterAssignment blocks;
   if (bootstrap || !options_.workload_sort) {
     blocks = core::chunk_clustering(num_points, options_.block_size);
@@ -50,6 +61,10 @@ core::SolveResult HeuristicSolver::solve(const core::RpProblem& problem) {
     blocks = core::ordered_clustering(order, options_.block_size);
   }
   const double clustering_seconds = cluster_timer.seconds();
+  if (session.enabled()) {
+    session.record_complete("heuristic.bucket_sort", "baselines", sort_start,
+                            session.now_us() - sort_start, "");
+  }
 
   core::RpKernelInput input;
   input.problem = &problem;

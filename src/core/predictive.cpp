@@ -1,18 +1,33 @@
 #include "core/predictive.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/rp_kernels.hpp"
 #include "quad/partition.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace bd::core {
 
+namespace telemetry = util::telemetry;
+
 namespace {
 constexpr std::size_t kFeatureDim = 3;  // (x, y, t)
+
+/// Mean absolute error between the forecast and observed pattern fields.
+double pattern_mae(const PatternField& predicted,
+                   const PatternField& observed) {
+  const auto p = predicted.flat();
+  const auto o = observed.flat();
+  if (p.size() != o.size() || p.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) sum += std::abs(p[i] - o[i]);
+  return sum / static_cast<double>(p.size());
 }
+}  // namespace
 
 PredictiveSolver::PredictiveSolver(simt::DeviceSpec device,
                                    PredictiveOptions options)
@@ -57,7 +72,10 @@ SolveResult PredictiveSolver::solve_bootstrap(const RpProblem& problem) {
   metrics += kernel2.metrics;
 
   double train_seconds = 0.0;
-  learn(problem, kernel1.contributions, train_seconds);
+  {
+    telemetry::TraceSpan span("predictive.learn", "core");
+    learn(problem, kernel1.contributions, train_seconds);
+  }
 
   SolveResult result = detail::make_result(
       problem, std::move(kernel1.integral), std::move(kernel1.error),
@@ -91,8 +109,11 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   util::WallTimer wall;
   const std::size_t num_points = problem.num_points();
 
+  telemetry::TraceSession& session = telemetry::TraceSession::global();
+
   // (1) + (2): forecast patterns, build per-point partitions.
   util::WallTimer forecast_timer;
+  const double forecast_start = session.enabled() ? session.now_us() : 0.0;
   PatternField predicted = forecast(problem);
   std::vector<std::vector<double>> point_partitions(num_points);
   const bool use_adaptive =
@@ -109,6 +130,10 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
                                    problem.r_max());
   });
   const double forecast_seconds = forecast_timer.seconds();
+  if (session.enabled()) {
+    session.record_complete("predictive.forecast", "core", forecast_start,
+                            session.now_us() - forecast_start, "");
+  }
 
   // (3) RP-CLUSTERING on the forecast patterns. Cluster count: the paper
   // uses m = max(N_X, N_Y); our default sizes clusters to fill an SM's
@@ -117,6 +142,7 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   // to max(N_X, N_Y) to reproduce the paper's choice (ablated in
   // bench_ablation).
   util::WallTimer cluster_timer;
+  const double cluster_start = session.enabled() ? session.now_us() : 0.0;
   const beam::GridSpec& spec = problem.grid();
   const std::size_t auto_m = std::clamp<std::size_t>(
       num_points / (device_.resident_warps_per_sm * device_.warp_size), 4,
@@ -176,6 +202,16 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
     }
   }
   const double clustering_seconds = cluster_timer.seconds();
+  if (session.enabled()) {
+    session.record_complete("predictive.cluster_merge", "core", cluster_start,
+                            session.now_us() - cluster_start, "");
+  }
+  // Cluster balance + k-means convergence metrics (RP-CLUSTERING quality).
+  telemetry::histogram_record("predictive.kmeans_iterations",
+                              static_cast<double>(clusters.kmeans_iterations));
+  telemetry::gauge_set("predictive.cluster_inertia", clusters.inertia);
+  telemetry::gauge_set("predictive.max_cluster_size",
+                       static_cast<double>(clusters.max_cluster_size));
 
   // (4) COMPUTE-RP-INTEGRAL with uniform per-warp/per-block control flow.
   RpKernelInput input;
@@ -198,6 +234,11 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   simt::KernelMetrics metrics = kernel1.metrics;
   metrics += kernel2.metrics;
 
+  // Forecast quality: how far the predicted access pattern was from the
+  // observed one (fallback contributions included).
+  const double forecast_mae = pattern_mae(predicted, kernel1.contributions);
+  telemetry::gauge_set("predictive.forecast_mae", forecast_mae);
+
   // Remember per-point partitions for the adaptive transform.
   if (options_.transform == PartitionTransform::kAdaptive) {
     previous_partitions_ = std::move(point_partitions);
@@ -205,13 +246,17 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
 
   // (6) ONLINE-LEARNING on the observed patterns.
   double train_seconds = 0.0;
-  learn(problem, kernel1.contributions, train_seconds);
+  {
+    telemetry::TraceSpan span("predictive.learn", "core");
+    learn(problem, kernel1.contributions, train_seconds);
+  }
 
   SolveResult result = detail::make_result(
       problem, std::move(kernel1.integral), std::move(kernel1.error),
       std::move(kernel1.contributions), std::move(metrics));
   result.fallback_items = kernel1.failed.size();
   result.kernel_intervals = kernel1.intervals;
+  result.forecast_mae = forecast_mae;
   result.clustering_seconds = clustering_seconds;
   result.forecast_seconds = forecast_seconds;
   result.train_seconds = train_seconds;

@@ -52,6 +52,10 @@ struct SolveResult {
   std::uint64_t fallback_items = 0;  ///< intervals sent to the adaptive pass
   std::uint64_t kernel_intervals = 0;  ///< intervals evaluated in kernel 1
 
+  /// Mean absolute error of the forecast access pattern against the
+  /// observed one (0 for solvers that do not forecast / bootstrap steps).
+  double forecast_mae = 0.0;
+
   /// Sum of modeled GPU time and host overheads (the paper's overall time).
   double overall_seconds() const {
     return gpu_seconds + clustering_seconds + train_seconds +

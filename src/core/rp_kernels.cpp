@@ -9,6 +9,7 @@
 #include "quad/simpson.hpp"
 #include "simt/executor.hpp"
 #include "util/check.hpp"
+#include "util/telemetry.hpp"
 
 namespace bd::core {
 
@@ -50,6 +51,16 @@ RpKernelOutput run_compute_rp_integral(const simt::DeviceSpec& device,
   out.integral.assign(num_points, 0.0);
   out.error.assign(num_points, 0.0);
   out.contributions = PatternField(num_points, problem.num_subregions);
+
+  namespace telemetry = util::telemetry;
+  telemetry::TraceSpan span("rp.compute_integral", "core");
+  span.arg("clusters", static_cast<std::uint64_t>(clusters.members.size()));
+  span.arg("points", static_cast<std::uint64_t>(num_points));
+  // Per-cluster sizes feed the balance histogram every solver shares.
+  for (const auto& members : clusters.members) {
+    telemetry::histogram_record("rp.cluster_size",
+                                static_cast<double>(members.size()));
+  }
 
   const std::uint32_t block_dim = block_dim_for(
       clusters.max_cluster_size, device.warp_size, device.max_threads_per_block);
@@ -128,6 +139,9 @@ RpKernelOutput run_compute_rp_integral(const simt::DeviceSpec& device,
                       failed_per_block[b].end());
     out.intervals += intervals_per_block[b];
   }
+  span.arg("intervals", out.intervals);
+  span.arg("failed", static_cast<std::uint64_t>(out.failed.size()));
+  telemetry::counter_add("rp.kernel_intervals", out.intervals);
   return out;
 }
 
@@ -139,6 +153,12 @@ FallbackOutput run_adaptive_fallback(const simt::DeviceSpec& device,
                                      PatternField& contributions) {
   FallbackOutput out;
   if (failed.empty()) return out;
+  namespace telemetry = util::telemetry;
+  telemetry::TraceSpan span("rp.fallback", "core");
+  span.arg("items", static_cast<std::uint64_t>(failed.size()));
+  telemetry::counter_add("rp.fallback_items", failed.size());
+  telemetry::histogram_record("rp.fallback_items_per_solve",
+                              static_cast<double>(failed.size()));
   BD_CHECK(integral.size() == problem.num_points());
   BD_CHECK(error.size() == problem.num_points());
   BD_CHECK(contributions.points() == problem.num_points());
@@ -201,6 +221,10 @@ FallbackOutput run_adaptive_fallback(const simt::DeviceSpec& device,
     out.evaluations += evals_per_item[i];
     out.non_converged += non_converged[i];
   }
+  span.arg("evaluations", out.evaluations);
+  span.arg("non_converged", out.non_converged);
+  telemetry::counter_add("rp.fallback_evaluations", out.evaluations);
+  telemetry::counter_add("rp.fallback_non_converged", out.non_converged);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include "beam/force.hpp"
 #include "beam/push.hpp"
 #include "util/check.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace bd::core {
@@ -64,34 +65,76 @@ StepStats Simulation::step() {
   StepStats stats;
   stats.step = step_;
 
+  namespace telemetry = util::telemetry;
+  telemetry::TraceSpan step_span("sim.step", "sim");
+  step_span.arg("step", static_cast<std::int64_t>(step_));
+  util::WallTimer phase_timer;
+
   // (1) particle deposition.
-  deposit_current(stats.deposit_seconds, stats.dropped_charge);
-  history_.push_step(step_, rho_, drho_ds_);
+  {
+    telemetry::TraceSpan span("sim.deposit", "sim");
+    deposit_current(stats.deposit_seconds, stats.dropped_charge);
+    history_.push_step(step_, rho_, drho_ds_);
+    span.arg("particles", static_cast<std::uint64_t>(particles_.size()));
+    span.arg("dropped_charge", stats.dropped_charge);
+  }
+  stats.phase_ms.deposit_ms = phase_timer.seconds() * 1e3;
 
   // (2) compute retarded potentials.
-  const RpProblem problem = make_problem(config_.longitudinal);
-  stats.longitudinal = solver_->solve(problem);
-  force_s_grid_ = stats.longitudinal.values;
-  if (config_.compute_transverse) {
-    const RpProblem tproblem = make_problem(config_.transverse);
-    stats.transverse = transverse_solver_->solve(tproblem);
-    force_y_grid_ = stats.transverse->values;
+  phase_timer.reset();
+  {
+    telemetry::TraceSpan span("sim.solve", "sim");
+    span.arg("solver", solver_->name());
+    const RpProblem problem = make_problem(config_.longitudinal);
+    stats.longitudinal = solver_->solve(problem);
+    force_s_grid_ = stats.longitudinal.values;
+    if (config_.compute_transverse) {
+      const RpProblem tproblem = make_problem(config_.transverse);
+      stats.transverse = transverse_solver_->solve(tproblem);
+      force_y_grid_ = stats.transverse->values;
+    }
+    span.arg("fallback_items", stats.longitudinal.fallback_items);
+    span.arg("kernel_intervals", stats.longitudinal.kernel_intervals);
   }
+  stats.phase_ms.solve_ms = phase_timer.seconds() * 1e3;
 
   // (3) self-forces at the particles.
-  beam::gather_forces(force_s_grid_, particles_, particle_force_s_);
-  if (config_.compute_transverse) {
-    beam::gather_forces(force_y_grid_, particles_, particle_force_y_);
+  phase_timer.reset();
+  {
+    telemetry::TraceSpan span("sim.gather", "sim");
+    beam::gather_forces(force_s_grid_, particles_, particle_force_s_);
+    if (config_.compute_transverse) {
+      beam::gather_forces(force_y_grid_, particles_, particle_force_y_);
+    }
   }
+  stats.phase_ms.gather_ms = phase_timer.seconds() * 1e3;
 
   // (4) push (the rigid validation bunch does not evolve).
-  if (!config_.rigid) {
-    beam::leapfrog_push(particles_, particle_force_s_,
-                        config_.compute_transverse
-                            ? std::span<const double>(particle_force_y_)
-                            : std::span<const double>(),
-                        config_.dt);
+  phase_timer.reset();
+  {
+    telemetry::TraceSpan span("sim.push", "sim");
+    span.arg("rigid", static_cast<std::uint64_t>(config_.rigid ? 1 : 0));
+    if (!config_.rigid) {
+      beam::leapfrog_push(particles_, particle_force_s_,
+                          config_.compute_transverse
+                              ? std::span<const double>(particle_force_y_)
+                              : std::span<const double>(),
+                          config_.dt);
+    }
   }
+  stats.phase_ms.push_ms = phase_timer.seconds() * 1e3;
+
+  // Surface the per-phase breakdown and solver quality metrics through the
+  // process-wide registry (see docs/METRICS.md).
+  telemetry::counter_add("sim.steps");
+  telemetry::histogram_record("sim.deposit_ms", stats.phase_ms.deposit_ms);
+  telemetry::histogram_record("sim.solve_ms", stats.phase_ms.solve_ms);
+  telemetry::histogram_record("sim.gather_ms", stats.phase_ms.gather_ms);
+  telemetry::histogram_record("sim.push_ms", stats.phase_ms.push_ms);
+  telemetry::gauge_set("sim.last_fallback_items",
+                       static_cast<double>(stats.longitudinal.fallback_items));
+  telemetry::gauge_set("sim.last_forecast_mae",
+                       stats.longitudinal.forecast_mae);
   return stats;
 }
 

@@ -41,11 +41,27 @@ struct SimConfig {
   std::uint32_t history_depth() const { return num_subregions + 4; }
 };
 
+/// Wall-time breakdown of one step over the four simulation phases
+/// (milliseconds of host time; the solve phase includes the transverse
+/// solve when enabled). Mirrors the `sim.*` telemetry spans — see
+/// docs/METRICS.md.
+struct PhaseBreakdown {
+  double deposit_ms = 0.0;  ///< PIC deposition + gradient + history push
+  double solve_ms = 0.0;    ///< compute retarded potentials (rp-solver)
+  double gather_ms = 0.0;   ///< force interpolation back to particles
+  double push_ms = 0.0;     ///< leap-frog push (0 for rigid bunches)
+
+  double total_ms() const {
+    return deposit_ms + solve_ms + gather_ms + push_ms;
+  }
+};
+
 /// Statistics of one simulation step.
 struct StepStats {
   std::int64_t step = 0;
   double deposit_seconds = 0.0;
   double dropped_charge = 0.0;
+  PhaseBreakdown phase_ms;  ///< where the step's host wall time went
   SolveResult longitudinal;
   std::optional<SolveResult> transverse;
 };

@@ -6,6 +6,7 @@
 #include "simt/warp.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
+#include "util/telemetry.hpp"
 
 namespace bd::simt {
 
@@ -30,6 +31,16 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
                "threads per block out of range");
   BD_CHECK(kernel != nullptr);
 
+  // Purely observational: spans/counters never feed back into the model,
+  // so captured and uncaptured runs produce bit-identical KernelMetrics
+  // (asserted by tests/test_determinism.cpp).
+  namespace telemetry = util::telemetry;
+  telemetry::TraceSpan launch_span("simt.launch", "simt");
+  launch_span.arg("blocks", static_cast<std::uint64_t>(config.num_blocks));
+  launch_span.arg("threads_per_block",
+                  static_cast<std::uint64_t>(config.threads_per_block));
+  telemetry::counter_add("simt.launches");
+
   const std::uint32_t warps_per_block =
       (config.threads_per_block + spec.warp_size - 1) / spec.warp_size;
   const std::uint32_t resident = std::max<std::uint32_t>(
@@ -42,6 +53,8 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
   // traces and accumulates divergence/coalescing counters into a private
   // KernelMetrics, so pass 1 shares no mutable state between tasks.
   std::vector<BlockOutput> blocks(config.num_blocks);
+  telemetry::TraceSession& session = telemetry::TraceSession::global();
+  const double lane_pass_start = session.enabled() ? session.now_us() : 0.0;
   util::parallel_for(0, config.num_blocks, [&](std::size_t b) {
     BlockOutput& out = blocks[b];
     const auto block = static_cast<std::uint32_t>(b);
@@ -67,6 +80,11 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
           analyze_warp_groups(warp_traces, spec, out.analysis));
     }
   });
+  if (session.enabled()) {
+    session.record_complete("simt.lane_pass", "simt", lane_pass_start,
+                            session.now_us() - lane_pass_start, "");
+  }
+  const double replay_start = session.enabled() ? session.now_us() : 0.0;
 
   // --- Pass 2 (serial): replay memory traffic through the caches --------
   // Identical to the serial executor: blocks are distributed round-robin
@@ -111,7 +129,23 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
     }
   }
 
+  if (session.enabled()) {
+    session.record_complete("simt.cache_replay", "simt", replay_start,
+                            session.now_us() - replay_start, "");
+  }
+
   apply_time_model(metrics, spec);
+
+  // KernelMetrics ride along as span args / registry metrics so the trace
+  // carries the same profiler aggregates the paper's tables report.
+  launch_span.arg("modeled_ms", metrics.modeled_seconds * 1e3);
+  launch_span.arg("warp_exec_eff", metrics.warp_execution_efficiency());
+  launch_span.arg("l1_hit_rate", metrics.l1_hit_rate());
+  launch_span.arg("flops", metrics.flops);
+  launch_span.arg("dram_bytes", metrics.dram_bytes);
+  telemetry::counter_add("simt.flops", metrics.flops);
+  telemetry::histogram_record("simt.modeled_kernel_ms",
+                              metrics.modeled_seconds * 1e3);
   return metrics;
 }
 

@@ -60,6 +60,13 @@ using KernelFn = std::function<void(const ThreadCtx&, LaneProbe&)>;
 /// for any BD_NUM_THREADS — because divergence/coalescing counters are
 /// integer sums over warps and the cache replay always runs serially in the
 /// fixed SM-major block order.
+///
+/// Observability: every launch emits a `simt.launch` trace span (geometry
+/// plus the headline KernelMetrics as span args) with `simt.lane_pass` /
+/// `simt.cache_replay` child spans for the two passes, and updates the
+/// `simt.*` metrics — see docs/METRICS.md. Capture is observational only
+/// and never perturbs the returned metrics
+/// (tests/test_determinism.cpp).
 KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
                      const KernelFn& kernel);
 

@@ -5,11 +5,16 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/telemetry.hpp"
 
 namespace bd::util {
 
 ArgParser::ArgParser(std::string program, std::string description)
-    : program_(std::move(program)), description_(std::move(description)) {}
+    : program_(std::move(program)), description_(std::move(description)) {
+  add_string("trace", "",
+             "capture telemetry spans and write chrome://tracing JSON to "
+             "this path at exit (same as BD_TRACE=<path>)");
+}
 
 void ArgParser::add_int(const std::string& name, std::int64_t default_value,
                         const std::string& help) {
@@ -75,6 +80,16 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       value = argv[++i];
     }
     opt.value = value;
+  }
+  if (const std::string& path = get_string("trace"); !path.empty()) {
+    telemetry::TraceSession& session = telemetry::TraceSession::global();
+    session.set_output_path(path);
+    session.start();
+    static bool flush_registered = false;
+    if (!flush_registered) {
+      flush_registered = true;
+      std::atexit([] { telemetry::TraceSession::global().flush(); });
+    }
   }
   return true;
 }

@@ -16,6 +16,11 @@ namespace bd::util {
 ///   args.add_flag("full", "run the paper-scale sweep");
 ///   args.parse(argc, argv);            // exits on --help / parse error
 ///   int n = args.get_int("particles");
+///
+/// Every parser also registers a built-in `--trace=<out.json>` option: when
+/// given, telemetry span capture (util/telemetry) starts and the chrome-
+/// trace JSON plus a per-span summary are emitted when the process exits —
+/// the CLI spelling of the `BD_TRACE=<out.json>` environment variable.
 class ArgParser {
  public:
   ArgParser(std::string program, std::string description);

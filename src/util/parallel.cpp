@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/telemetry.hpp"
 
 namespace bd::util {
 
@@ -55,7 +56,7 @@ ThreadPool::ThreadPool(unsigned threads) : impl_(std::make_unique<Impl>()) {
   const unsigned lanes = threads > 0 ? threads : 1;
   impl_->workers.reserve(lanes - 1);
   for (unsigned i = 0; i + 1 < lanes; ++i) {
-    impl_->workers.emplace_back([this] { worker_loop(); });
+    impl_->workers.emplace_back([this, i] { worker_loop(i + 1); });
   }
 }
 
@@ -72,19 +73,24 @@ unsigned ThreadPool::num_threads() const {
   return static_cast<unsigned>(impl_->workers.size()) + 1;
 }
 
-void ThreadPool::work_on(Job& job) {
+std::size_t ThreadPool::work_on(Job& job) {
+  std::size_t claimed = 0;
   for (;;) {
     if (job.abort.load(std::memory_order_relaxed)) break;
     const std::size_t lo =
         job.next.fetch_add(job.grain, std::memory_order_relaxed);
     if (lo >= job.end) break;
     const std::size_t hi = std::min(job.end, lo + job.grain);
+    ++claimed;
     (*job.body)(lo, hi);
   }
+  return claimed;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
   tls_in_pool_work = true;
+  telemetry::TraceSession::global().set_current_thread_name(
+      "pool-worker-" + std::to_string(index));
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(impl_->mu);
   for (;;) {
@@ -97,10 +103,16 @@ void ThreadPool::worker_loop() {
     ++job->active;
     lk.unlock();
     std::exception_ptr err;
+    std::size_t claimed = 0;
     try {
-      work_on(*job);
+      telemetry::TraceSpan span("pool.work", "pool");
+      claimed = work_on(*job);
+      span.arg("chunks", static_cast<std::uint64_t>(claimed));
     } catch (...) {
       err = std::current_exception();
+    }
+    if (claimed > 0) {
+      telemetry::counter_add("pool.chunks_claimed.worker", claimed);
     }
     lk.lock();
     if (err) {
@@ -124,8 +136,14 @@ void ThreadPool::for_chunks(std::size_t begin, std::size_t end,
       body(lo, hi);
       lo = hi;
     }
+    if (!tls_in_pool_work) telemetry::counter_add("pool.serial_loops");
     return;
   }
+
+  telemetry::counter_add("pool.jobs");
+  telemetry::TraceSpan job_span("pool.job", "pool");
+  job_span.arg("items", static_cast<std::uint64_t>(end - begin));
+  job_span.arg("grain", static_cast<std::uint64_t>(grain));
 
   Job job;
   job.end = end;
@@ -142,12 +160,16 @@ void ThreadPool::for_chunks(std::size_t begin, std::size_t end,
   const bool was_in_pool_work = tls_in_pool_work;
   tls_in_pool_work = true;
   std::exception_ptr caller_err;
+  std::size_t caller_claimed = 0;
   try {
-    work_on(job);
+    caller_claimed = work_on(job);
   } catch (...) {
     caller_err = std::current_exception();
   }
   tls_in_pool_work = was_in_pool_work;
+  if (caller_claimed > 0) {
+    telemetry::counter_add("pool.chunks_claimed.caller", caller_claimed);
+  }
 
   {
     std::unique_lock<std::mutex> lk(impl_->mu);

@@ -29,6 +29,12 @@
 ///    point reductions across thread counts must pick chunk boundaries
 ///    independent of the thread count and reduce the per-chunk partials
 ///    serially (see beam/deposit.cpp).
+///
+/// Observability: each parallel job emits a `pool.job` trace span on the
+/// submitting thread and a `pool.work` span per participating worker, and
+/// the pool maintains the `pool.*` counters (jobs, serial loops, chunks
+/// claimed by caller vs workers) — see docs/METRICS.md. Workers name their
+/// trace lanes `pool-worker-<n>`.
 
 #include <cstddef>
 #include <functional>
@@ -74,8 +80,8 @@ class ThreadPool {
   struct Job;
   struct Impl;
 
-  void worker_loop();
-  static void work_on(Job& job);
+  void worker_loop(unsigned index);
+  static std::size_t work_on(Job& job);
 
   std::unique_ptr<Impl> impl_;
 };

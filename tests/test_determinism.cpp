@@ -13,6 +13,7 @@
 #include "simt/executor.hpp"
 #include "test_helpers.hpp"
 #include "util/parallel.hpp"
+#include "util/telemetry.hpp"
 
 namespace bd {
 namespace {
@@ -156,6 +157,26 @@ TEST(Determinism, RepeatedParallelRunsIdentical) {
   const simt::KernelMetrics b = run_synthetic_launch();
   util::ThreadPool::set_global_threads(0);
   expect_identical(a, b);
+}
+
+TEST(Determinism, TelemetryCaptureDoesNotPerturbMetrics) {
+  // Telemetry is observational only: recording spans must not change a
+  // single profiler counter, with or without worker threads.
+  util::telemetry::TraceSession& session =
+      util::telemetry::TraceSession::global();
+  session.stop();
+  session.clear();
+  util::ThreadPool::set_global_threads(8);
+  const simt::KernelMetrics quiet = run_synthetic_launch();
+
+  session.start();
+  const simt::KernelMetrics traced = run_synthetic_launch();
+  session.stop();
+  EXPECT_GT(session.event_count(), 0u);  // capture actually happened
+  session.clear();
+  util::ThreadPool::set_global_threads(0);
+
+  expect_identical(quiet, traced);
 }
 
 }  // namespace

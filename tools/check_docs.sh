@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Docs consistency check (run by the CI docs job and tools/ci.sh):
+#   1. every telemetry metric / span name used in src/ must be documented
+#      in docs/METRICS.md;
+#   2. no markdown file may contain a dead relative link.
+# Pure grep/sed — no build needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. metric & span names ------------------------------------------------
+# Telemetry names are literal strings by convention (see util/telemetry.hpp),
+# so they can be harvested syntactically. The registry/tracer implementation
+# and the tests use placeholder names and are excluded.
+sources=$(find src -name '*.cpp' -o -name '*.hpp' | grep -v 'util/telemetry')
+
+names=$(
+  for f in $sources; do
+    grep -hoE '(counter_add|gauge_set|histogram_record|record_complete)\("[^"]+"' "$f" || true
+    grep -hoE 'TraceSpan [A-Za-z_]+\("[^"]+"' "$f" || true
+    grep -hoE 'BD_TRACE_SPAN\("[^"]+"' "$f" || true
+  done | sed -E 's/.*\("([^"]+)".*/\1/' | sort -u
+)
+
+if [ -z "$names" ]; then
+  echo "check_docs: no telemetry names found in src/ — extraction broken?" >&2
+  fail=1
+fi
+
+for name in $names; do
+  if ! grep -qF "\`$name\`" docs/METRICS.md; then
+    echo "check_docs: '$name' is used in src/ but not documented in docs/METRICS.md" >&2
+    fail=1
+  fi
+done
+
+# --- 2. dead relative markdown links ---------------------------------------
+# [text](target) where target is not absolute, not a URL and not an anchor
+# must resolve to a file relative to the markdown file's directory.
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  links=$(grep -oE '\]\(([^)#][^)]*)\)' "$md" | sed -E 's/^\]\((.*)\)$/\1/' || true)
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|/*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "check_docs: dead link '$link' in $md" >&2
+      fail=1
+    fi
+  done
+# PAPERS.md / SNIPPETS.md hold verbatim extracted paper text and example
+# code whose bracket patterns are not real links.
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*' \
+           -not -path './related/*' -not -name 'PAPERS.md' -not -name 'SNIPPETS.md')
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(echo "$names" | wc -l) telemetry names documented, links clean)"

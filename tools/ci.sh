@@ -4,7 +4,10 @@
 # rp-kernels/solvers, deposition, k-means) with an oversubscribed pool
 # (BD_NUM_THREADS=8) so cross-thread interleavings actually happen.
 #
-# Usage: tools/ci.sh [tier1|tsan|all]   (default: all)
+# A third stage checks docs consistency (tools/check_docs.sh): every
+# telemetry name documented in docs/METRICS.md, no dead markdown links.
+#
+# Usage: tools/ci.sh [tier1|tsan|docs|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,10 +29,16 @@ tsan() {
   ctest --preset tsan -j 1
 }
 
+docs() {
+  echo "=== docs: telemetry names + markdown links ==="
+  tools/check_docs.sh
+}
+
 case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
-  all) tier1; tsan ;;
-  *) echo "unknown stage: $stage (want tier1|tsan|all)" >&2; exit 2 ;;
+  docs) docs ;;
+  all) tier1; tsan; docs ;;
+  *) echo "unknown stage: $stage (want tier1|tsan|docs|all)" >&2; exit 2 ;;
 esac
 echo "CI ($stage) OK"
