@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "beam/analytic.hpp"
+#include "core/checkpoint.hpp"
 #include "core/predictive.hpp"
 #include "core/simulation.hpp"
 #include "simt/device.hpp"
@@ -31,13 +32,26 @@ int main(int argc, char** argv) {
 
   auto solver = std::make_unique<core::PredictiveSolver>(simt::tesla_k40());
   core::Simulation sim(config, std::move(solver));
-  sim.initialize();
+  if (!args.resume_path().empty()) {
+    core::restore_checkpoint(sim, args.resume_path());
+    std::printf("resumed from %s at step %lld\n", args.resume_path().c_str(),
+                static_cast<long long>(sim.current_step()));
+  } else {
+    sim.initialize();
+  }
+
+  const std::string& checkpoint_path = args.checkpoint_path();
+  const std::int64_t checkpoint_every = args.checkpoint_every();
 
   util::ConsoleTable table({"step", "kernel intervals", "fallback items",
                             "GPU time (model s)", "warp eff %", "L1 hit %",
                             "AI", "GFlop/s"});
   for (int k = 0; k < args.get_int("steps"); ++k) {
     const core::StepStats stats = sim.step();
+    if (!checkpoint_path.empty() && checkpoint_every > 0 &&
+        stats.step % checkpoint_every == 0) {
+      core::save_checkpoint(sim, checkpoint_path);
+    }
     const auto& m = stats.longitudinal.metrics;
     table.cell(static_cast<std::int64_t>(stats.step))
         .cell(static_cast<std::int64_t>(stats.longitudinal.kernel_intervals))

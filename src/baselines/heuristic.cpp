@@ -7,12 +7,21 @@
 #include "core/forecast.hpp"
 #include "core/rp_kernels.hpp"
 #include "quad/partition.hpp"
+#include "util/serialize.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace bd::baselines {
 
 namespace telemetry = bd::util::telemetry;
+
+void HeuristicSolver::save_state(util::BinaryWriter& out) const {
+  util::write_nested_f64(out, previous_partitions_);
+}
+
+void HeuristicSolver::load_state(util::BinaryReader& in) {
+  previous_partitions_ = util::read_nested_f64(in);
+}
 
 core::SolveResult HeuristicSolver::solve(const core::RpProblem& problem) {
   util::WallTimer wall;

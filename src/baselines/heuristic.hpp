@@ -41,6 +41,10 @@ class HeuristicSolver final : public core::RpSolver {
   const char* name() const override { return "heuristic-rp"; }
   void reset() override { previous_partitions_.clear(); }
 
+  /// Checkpoint the carried per-point partitions (heuristic 1's state).
+  void save_state(util::BinaryWriter& out) const override;
+  void load_state(util::BinaryReader& in) override;
+
  private:
   simt::DeviceSpec device_;
   HeuristicOptions options_;

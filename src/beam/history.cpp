@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/serialize.hpp"
 
 namespace bd::beam {
 
@@ -71,6 +72,27 @@ const double* GridHistory::row_ptr(std::int64_t step, MomentChannel channel,
                                    std::uint32_t ix, std::uint32_t iy) const {
   BD_DCHECK(ix < spec_.nx && iy < spec_.ny);
   return plane(step, channel) + static_cast<std::size_t>(iy) * spec_.nx + ix;
+}
+
+void GridHistory::save(util::BinaryWriter& out) const {
+  out.write_u32(depth_);
+  out.write_u64(plane_nodes_);
+  out.write_i64(latest_step_);
+  out.write_bool(initialized_);
+  out.write_f64_span(buffer_);
+}
+
+void GridHistory::load(util::BinaryReader& in) {
+  const std::uint32_t depth = in.read_u32();
+  BD_CHECK_MSG(depth == depth_, "history depth mismatch: checkpoint has "
+                                    << depth << ", simulation has " << depth_);
+  const std::uint64_t nodes = in.read_u64();
+  BD_CHECK_MSG(nodes == plane_nodes_,
+               "history plane size mismatch: checkpoint has "
+                   << nodes << " nodes, simulation has " << plane_nodes_);
+  latest_step_ = in.read_i64();
+  initialized_ = in.read_bool();
+  in.read_f64_into(buffer_);
 }
 
 double GridHistory::value(std::int64_t step, MomentChannel channel,

@@ -11,6 +11,11 @@
 
 #include "beam/grid.hpp"
 
+namespace bd::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace bd::util
+
 namespace bd::beam {
 
 /// Moment channel indices within a history slot.
@@ -57,6 +62,14 @@ class GridHistory {
 
   /// Total buffer footprint in bytes (the "device memory" the kernels see).
   std::size_t footprint_bytes() const { return buffer_.size() * sizeof(double); }
+
+  /// Checkpoint the ring (latest step + every retained plane).
+  void save(util::BinaryWriter& out) const;
+
+  /// Restore a checkpointed ring in place. The stored depth and plane size
+  /// must match this instance; the backing buffer is not reallocated, so
+  /// the SIMT cache model keeps seeing the same addresses after a restore.
+  void load(util::BinaryReader& in);
 
  private:
   std::size_t slot_offset(std::int64_t step, MomentChannel channel) const;

@@ -1,0 +1,122 @@
+#include "core/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/serialize.hpp"
+
+namespace bd::core {
+
+std::uint64_t HealthMonitor::count_non_finite(std::span<const double> values) {
+  std::uint64_t count = 0;
+  for (double v : values) {
+    if (!std::isfinite(v)) ++count;
+  }
+  return count;
+}
+
+std::uint64_t HealthMonitor::quarantine_non_finite(std::span<double> values) {
+  std::uint64_t count = 0;
+  for (double& v : values) {
+    if (!std::isfinite(v)) {
+      v = 0.0;
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool HealthMonitor::observe_mae(double mae) {
+  if (!std::isfinite(mae) || mae < 0.0) return true;
+  if (mae_samples_ < thresholds_.mae_warmup) {
+    mae_baseline_ = (mae_samples_ == 0)
+                        ? mae
+                        : mae_baseline_ + thresholds_.mae_ema *
+                                              (mae - mae_baseline_);
+    ++mae_samples_;
+    return false;
+  }
+  // Guard against a baseline that collapsed to ~0 (perfect early
+  // forecasts would make any later nonzero MAE "drift").
+  const double floor = 1e-12;
+  const double limit =
+      thresholds_.mae_drift_factor * std::max(mae_baseline_, floor);
+  if (mae > limit) return true;
+  mae_baseline_ += thresholds_.mae_ema * (mae - mae_baseline_);
+  ++mae_samples_;
+  return false;
+}
+
+void HealthMonitor::reset() {
+  mae_baseline_ = 0.0;
+  mae_samples_ = 0;
+}
+
+void HealthMonitor::save(util::BinaryWriter& out) const {
+  out.write_f64(mae_baseline_);
+  out.write_u32(mae_samples_);
+}
+
+void HealthMonitor::load(util::BinaryReader& in) {
+  mae_baseline_ = in.read_f64();
+  mae_samples_ = in.read_u32();
+}
+
+DegradationLadder::DegradationLadder(std::uint32_t num_tiers,
+                                     std::uint32_t demote_after,
+                                     std::uint32_t promote_after)
+    : num_tiers_(num_tiers),
+      demote_after_(demote_after),
+      promote_after_(promote_after) {
+  BD_CHECK_MSG(num_tiers >= 1, "ladder needs at least one tier");
+  BD_CHECK_MSG(demote_after >= 1 && promote_after >= 1,
+               "ladder streak lengths must be >= 1");
+}
+
+int DegradationLadder::on_step(bool healthy) {
+  if (healthy) {
+    unhealthy_streak_ = 0;
+    if (tier_ == 0) return 0;
+    if (++healthy_streak_ >= promote_after_) {
+      healthy_streak_ = 0;
+      --tier_;
+      return -1;
+    }
+    return 0;
+  }
+  healthy_streak_ = 0;
+  if (tier_ + 1 >= num_tiers_) return 0;  // already on the last rung
+  if (++unhealthy_streak_ >= demote_after_) {
+    unhealthy_streak_ = 0;
+    ++tier_;
+    return +1;
+  }
+  return 0;
+}
+
+void DegradationLadder::reset() {
+  tier_ = 0;
+  unhealthy_streak_ = 0;
+  healthy_streak_ = 0;
+}
+
+void DegradationLadder::save(util::BinaryWriter& out) const {
+  out.write_u32(num_tiers_);
+  out.write_u32(tier_);
+  out.write_u32(unhealthy_streak_);
+  out.write_u32(healthy_streak_);
+}
+
+void DegradationLadder::load(util::BinaryReader& in) {
+  const std::uint32_t tiers = in.read_u32();
+  BD_CHECK_MSG(tiers == num_tiers_,
+               "ladder tier count mismatch: checkpoint has "
+                   << tiers << ", simulation has " << num_tiers_);
+  tier_ = in.read_u32();
+  unhealthy_streak_ = in.read_u32();
+  healthy_streak_ = in.read_u32();
+  BD_CHECK_MSG(tier_ < num_tiers_, "corrupt ladder tier in checkpoint");
+}
+
+}  // namespace bd::core

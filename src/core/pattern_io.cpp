@@ -1,5 +1,7 @@
 #include "core/pattern_io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -8,6 +10,32 @@
 #include "util/csv.hpp"
 
 namespace bd::core {
+
+namespace {
+
+/// Strict numeric cell parse with file coordinates in every diagnostic
+/// (std::stod would throw a context-free std::invalid_argument and happily
+/// accept trailing garbage like "1.5x").
+double parse_count_cell(const std::string& cell, const std::string& path,
+                        std::size_t row, std::size_t col) {
+  const char* begin = cell.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  BD_CHECK_MSG(end != begin && *end == '\0',
+               "pattern file " << path << ": row " << row << ", column "
+                               << col << ": non-numeric cell '" << cell
+                               << "'");
+  BD_CHECK_MSG(std::isfinite(value),
+               "pattern file " << path << ": row " << row << ", column "
+                               << col << ": non-finite count '" << cell
+                               << "'");
+  BD_CHECK_MSG(value >= 0.0,
+               "pattern file " << path << ": row " << row << ", column "
+                               << col << ": negative count " << value);
+  return value;
+}
+
+}  // namespace
 
 void save_pattern_field(const PatternField& field, const std::string& path) {
   util::CsvWriter csv(path);
@@ -46,13 +74,24 @@ PatternField load_pattern_field(const std::string& path) {
     std::string cell;
     std::size_t col = 0;
     while (std::getline(row, cell, ',')) {
-      if (col > 0) values.push_back(std::stod(cell));
+      if (col > 0) {
+        values.push_back(parse_count_cell(cell, path, points, col));
+      }
       ++col;
     }
-    BD_CHECK_MSG(col == columns, "row " << points << " has " << col
-                                        << " cells, expected " << columns);
+    BD_CHECK_MSG(col == columns, "pattern file "
+                                     << path << ": row " << points << " has "
+                                     << col << " cells, expected " << columns
+                                     << " (ragged or truncated row)");
     ++points;
   }
+  // A truncated final line without a newline still arrives via getline; a
+  // mid-row truncation is caught by the ragged-row check above. Catch the
+  // remaining case: a file cut off exactly at a row boundary but reporting
+  // a read error.
+  BD_CHECK_MSG(in.eof(), "pattern file " << path
+                                         << ": read error before EOF "
+                                            "(truncated file?)");
   PatternField field(points, subregions);
   std::copy(values.begin(), values.end(), field.flat().begin());
   return field;

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "core/rp_kernels.hpp"
 #include "quad/partition.hpp"
 #include "util/check.hpp"
+#include "util/faultinject.hpp"
 #include "util/parallel.hpp"
+#include "util/serialize.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
@@ -32,7 +36,22 @@ double pattern_mae(const PatternField& predicted,
 PredictiveSolver::PredictiveSolver(simt::DeviceSpec device,
                                    PredictiveOptions options)
     : device_(std::move(device)), options_(options) {
-  BD_CHECK(options_.training_stride >= 1);
+  BD_CHECK_MSG(options_.training_stride >= 1,
+               "PredictiveOptions.training_stride must be >= 1, got "
+                   << options_.training_stride);
+  BD_CHECK_MSG(options_.training_window >= 1,
+               "PredictiveOptions.training_window must be >= 1, got "
+                   << options_.training_window);
+  BD_CHECK_MSG(options_.tile_w >= 1,
+               "PredictiveOptions.tile_w must be >= 1, got "
+                   << options_.tile_w);
+  BD_CHECK_MSG(options_.tile_h >= 1,
+               "PredictiveOptions.tile_h must be >= 1, got "
+                   << options_.tile_h);
+  BD_CHECK_MSG(options_.observation_ema > 0.0 &&
+                   options_.observation_ema <= 1.0,
+               "PredictiveOptions.observation_ema must be in (0, 1], got "
+                   << options_.observation_ema);
 }
 
 void PredictiveSolver::reset() {
@@ -96,6 +115,11 @@ PatternField PredictiveSolver::forecast(const RpProblem& problem) const {
   // predict_into is const and reentrant, and each point writes only its
   // own pattern row — bit-identical for any thread count.
   util::parallel_for(0, num_points, [&](std::size_t p) {
+    if (p == 0 && util::faultinject::enabled() &&
+        util::faultinject::fire(util::faultinject::FaultClass::kPoolThrow,
+                                problem.step)) {
+      throw std::runtime_error("fault injected: pool job failure in forecast");
+    }
     double features[kFeatureDim];
     problem.point_coords(p, features[0], features[1]);
     features[2] = static_cast<double>(problem.step);
@@ -115,6 +139,37 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   util::WallTimer forecast_timer;
   const double forecast_start = session.enabled() ? session.now_us() : 0.0;
   PatternField predicted = forecast(problem);
+
+  if (util::faultinject::enabled()) {
+    if (auto inj = util::faultinject::fire(
+            util::faultinject::FaultClass::kForecastCorrupt, problem.step)) {
+      // Scramble a deterministic 3/4 of the forecast: alternate NaNs and
+      // absurd magnitudes, exactly what a poisoned model would emit.
+      auto flat = predicted.flat();
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        if (i % 4 == 3) continue;
+        flat[i] = (i % 2 == 0) ? std::numeric_limits<double>::quiet_NaN()
+                               : 1e18;
+      }
+    }
+  }
+
+  // Hint-boundary sanitizer (always on): the forecast is a performance
+  // hint, so a non-finite / negative / absurd prediction must never reach
+  // partition building — round_pow2 of a huge value is UB on the uint cast.
+  // Rewritten values fall back to "one interval", the coarse bootstrap
+  // density; the adaptive fallback still guarantees τ.
+  std::uint64_t sanitized = 0;
+  for (double& v : predicted.flat()) {
+    if (!std::isfinite(v) || v < 0.0 || v > 1e6) {
+      v = 1.0;
+      ++sanitized;
+    }
+  }
+  if (sanitized > 0) {
+    telemetry::counter_add("predictive.forecast_sanitized", sanitized);
+  }
+
   std::vector<std::vector<double>> point_partitions(num_points);
   const bool use_adaptive =
       options_.transform == PartitionTransform::kAdaptive &&
@@ -257,11 +312,42 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   result.fallback_items = kernel1.failed.size();
   result.kernel_intervals = kernel1.intervals;
   result.forecast_mae = forecast_mae;
+  result.sanitized_forecasts = sanitized;
   result.clustering_seconds = clustering_seconds;
   result.forecast_seconds = forecast_seconds;
   result.train_seconds = train_seconds;
   result.wall_seconds = wall.seconds();
   return result;
+}
+
+void PredictiveSolver::save_state(util::BinaryWriter& out) const {
+  out.write_bool(predictor_ != nullptr);
+  if (predictor_) {
+    out.write_u64(predictor_->target_dim());
+    predictor_->save(out);
+  }
+  util::write_nested_f64(out, previous_partitions_);
+  out.write_u64(smoothed_.points());
+  out.write_u64(smoothed_.subregions());
+  out.write_f64_span(smoothed_.flat());
+}
+
+void PredictiveSolver::load_state(util::BinaryReader& in) {
+  if (in.read_bool()) {
+    const std::uint64_t target_dim = in.read_u64();
+    BD_CHECK_MSG(target_dim > 0, "corrupt predictor target dim");
+    predictor_ = std::make_unique<ml::OnlinePredictor>(
+        options_.predictor, kFeatureDim, target_dim, options_.training_window,
+        options_.knn, options_.ridge);
+    predictor_->load(in);
+  } else {
+    predictor_.reset();
+  }
+  previous_partitions_ = util::read_nested_f64(in);
+  const std::uint64_t points = in.read_u64();
+  const std::uint64_t subregions = in.read_u64();
+  smoothed_ = PatternField(points, subregions);
+  in.read_f64_into(smoothed_.flat());
 }
 
 void PredictiveSolver::learn(const RpProblem& problem,

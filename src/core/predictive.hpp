@@ -67,6 +67,12 @@ class PredictiveSolver final : public RpSolver {
   const char* name() const override { return "predictive-rp"; }
   void reset() override;
 
+  /// Checkpoint the learned state: the online predictor's training window,
+  /// the previous per-point partitions (adaptive transform) and the EMA of
+  /// observed patterns. A restored solver replays bit-identically.
+  void save_state(util::BinaryWriter& out) const override;
+  void load_state(util::BinaryReader& in) override;
+
   /// Forecast access patterns for the given step using the current model
   /// (exposed for forecast-quality benchmarks). Requires a trained model.
   PatternField forecast(const RpProblem& problem) const;

@@ -56,6 +56,13 @@ struct SolveResult {
   /// observed one (0 for solvers that do not forecast / bootstrap steps).
   double forecast_mae = 0.0;
 
+  /// Forecast values rewritten by the hint-boundary sanitizer (non-finite,
+  /// negative or absurdly large predictions clipped before partition
+  /// building). Nonzero values mean the predictor emitted garbage that was
+  /// contained; the health monitor flags the step when the fraction is
+  /// large (see docs/ROBUSTNESS.md).
+  std::uint64_t sanitized_forecasts = 0;
+
   /// Sum of modeled GPU time and host overheads (the paper's overall time).
   double overall_seconds() const {
     return gpu_seconds + clustering_seconds + train_seconds +

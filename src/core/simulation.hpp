@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "beam/bunch.hpp"
@@ -14,7 +15,9 @@
 #include "beam/history.hpp"
 #include "beam/units.hpp"
 #include "beam/wake.hpp"
+#include "core/health.hpp"
 #include "core/solver.hpp"
+#include "util/rng.hpp"
 
 namespace bd::core {
 
@@ -37,8 +40,19 @@ struct SimConfig {
   beam::WakeModel longitudinal = beam::WakeModel::longitudinal();
   beam::WakeModel transverse = beam::WakeModel::transverse();
 
+  /// Enable per-step numerical health monitoring and the degradation
+  /// ladder (docs/ROBUSTNESS.md). Off by default — the guarded path costs
+  /// a few grid scans per step.
+  bool health_checks = false;
+  HealthThresholds health;  ///< limits used when health_checks is on
+
   /// History depth required to interpolate every subregion in time.
   std::uint32_t history_depth() const { return num_subregions + 4; }
+
+  /// Throws bd::CheckError naming the offending field if any value is
+  /// unusable (zero grid dims, non-positive tolerance/dt, ...). Called by
+  /// the Simulation constructor; exposed for config-loading tooling.
+  void validate() const;
 };
 
 /// Wall-time breakdown of one step over the four simulation phases
@@ -64,6 +78,9 @@ struct StepStats {
   PhaseBreakdown phase_ms;  ///< where the step's host wall time went
   SolveResult longitudinal;
   std::optional<SolveResult> transverse;
+  /// Health findings for this step; engaged only when
+  /// SimConfig::health_checks is on.
+  std::optional<HealthReport> health;
 };
 
 /// The simulation driver.
@@ -94,23 +111,55 @@ class Simulation {
   std::int64_t current_step() const { return step_; }
   RpSolver& solver() { return *solver_; }
 
+  /// Append one rung to the degradation ladder (docs/ROBUSTNESS.md).
+  /// Tier 0 is the primary solver; each added solver is one tier simpler.
+  /// The last added solver should be unconditionally safe (the stateless
+  /// full-adaptive TwoPhaseSolver) — it also serves as the repair solver
+  /// that recomputes quarantined potential nodes. Resets the ladder.
+  void add_fallback_solver(std::unique_ptr<RpSolver> solver);
+
+  /// Ladder tier the next step will use (0 = primary solver).
+  std::uint32_t active_tier() const { return ladder_.tier(); }
+  std::uint32_t num_tiers() const { return ladder_.num_tiers(); }
+
+  /// The solver the next step will use, per the ladder tier.
+  RpSolver& active_solver();
+
   /// The RpProblem for the current step and given model (for tooling).
   RpProblem make_problem(const beam::WakeModel& model) const;
 
  private:
+  friend void save_checkpoint(const Simulation& sim, const std::string& path);
+  friend void restore_checkpoint(Simulation& sim, const std::string& path);
+
   void deposit_current(double& seconds, double& dropped);
+
+  /// Scan/repair hooks of the guarded step (no-ops unless health_checks).
+  void check_moments(StepStats& stats);
+  void check_potentials(StepStats& stats, const RpProblem& problem);
+  void check_forces(StepStats& stats);
+  void update_ladder(StepStats& stats);
 
   SimConfig config_;
   std::unique_ptr<RpSolver> solver_;
   std::unique_ptr<RpSolver> transverse_solver_;
+  std::vector<std::unique_ptr<RpSolver>> fallback_solvers_;
   beam::GridSpec spec_;
   beam::ParticleSet particles_;
   beam::GridHistory history_;
   beam::Grid2D rho_, drho_ds_;
   beam::Grid2D force_s_grid_, force_y_grid_;
   std::vector<double> particle_force_s_, particle_force_y_;
+  util::Rng rng_;
+  HealthMonitor health_monitor_;
+  DegradationLadder ladder_;
   std::int64_t step_ = 0;
   bool initialized_ = false;
 };
+
+/// Checkpoint/restart (core/checkpoint.cpp). Declared here so they can be
+/// friends; include core/checkpoint.hpp for the documented entry points.
+void save_checkpoint(const Simulation& sim, const std::string& path);
+void restore_checkpoint(Simulation& sim, const std::string& path);
 
 }  // namespace bd::core

@@ -3,6 +3,15 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/serialize.hpp"
+
+namespace bd::core {
+
+void RpSolver::save_state(util::BinaryWriter& /*out*/) const {}
+
+void RpSolver::load_state(util::BinaryReader& /*in*/) {}
+
+}  // namespace bd::core
 
 namespace bd::core::detail {
 

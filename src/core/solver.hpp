@@ -10,6 +10,11 @@
 #include "core/problem.hpp"
 #include "simt/device.hpp"
 
+namespace bd::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace bd::util
+
 namespace bd::core {
 
 /// Stateful rp-solver.
@@ -27,6 +32,15 @@ class RpSolver {
 
   /// Forget all cross-step state (for reuse across independent runs).
   virtual void reset() = 0;
+
+  /// Checkpoint the solver's learned cross-step state (training window,
+  /// reusable partitions, EMA targets, ...). Stateless solvers inherit the
+  /// default no-op; stateful solvers must override both directions so a
+  /// restored run replays bit-identically.
+  virtual void save_state(util::BinaryWriter& out) const;
+
+  /// Restore state written by save_state of the same solver type.
+  virtual void load_state(util::BinaryReader& in);
 };
 
 /// Shared helpers for solver implementations.

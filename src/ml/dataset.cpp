@@ -64,4 +64,20 @@ void Dataset::clear() {
   targets_.clear();
 }
 
+void Dataset::assign_raw(std::vector<double> features,
+                         std::vector<double> targets) {
+  BD_CHECK(feature_dim_ > 0 && target_dim_ > 0);
+  BD_CHECK_MSG(features.size() % feature_dim_ == 0,
+               "raw feature size " << features.size()
+                                   << " not a multiple of dim "
+                                   << feature_dim_);
+  BD_CHECK_MSG(targets.size() % target_dim_ == 0,
+               "raw target size " << targets.size()
+                                  << " not a multiple of dim " << target_dim_);
+  BD_CHECK_MSG(features.size() / feature_dim_ == targets.size() / target_dim_,
+               "raw feature/target row counts disagree");
+  features_ = std::move(features);
+  targets_ = std::move(targets);
+}
+
 }  // namespace bd::ml

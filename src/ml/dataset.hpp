@@ -53,6 +53,14 @@ class Dataset {
   /// Remove all examples (dims preserved).
   void clear();
 
+  /// Flat row-major storage, for serialization.
+  const std::vector<double>& raw_features() const { return features_; }
+  const std::vector<double>& raw_targets() const { return targets_; }
+
+  /// Replace the contents wholesale (deserialization). Sizes must be
+  /// consistent multiples of the dataset dims.
+  void assign_raw(std::vector<double> features, std::vector<double> targets);
+
  private:
   std::size_t feature_dim_ = 0;
   std::size_t target_dim_ = 0;

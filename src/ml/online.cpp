@@ -1,6 +1,7 @@
 #include "ml/online.hpp"
 
 #include "util/check.hpp"
+#include "util/serialize.hpp"
 #include "util/timer.hpp"
 
 namespace bd::ml {
@@ -59,6 +60,42 @@ void OnlinePredictor::refit() {
   }
   model_->fit(merged);
   last_train_seconds_ = timer.seconds();
+}
+
+void OnlinePredictor::save(util::BinaryWriter& out) const {
+  out.write_u8(static_cast<std::uint8_t>(kind_));
+  out.write_u64(feature_dim_);
+  out.write_u64(target_dim_);
+  out.write_u64(window_);
+  out.write_u64(steps_seen_);
+  out.write_u64(next_slot_);
+  for (const Dataset& slot : history_) {
+    out.write_f64_span(slot.raw_features());
+    out.write_f64_span(slot.raw_targets());
+  }
+}
+
+void OnlinePredictor::load(util::BinaryReader& in) {
+  const auto kind = static_cast<PredictorKind>(in.read_u8());
+  BD_CHECK_MSG(kind == kind_, "predictor kind mismatch in checkpoint");
+  const std::uint64_t fd = in.read_u64();
+  const std::uint64_t td = in.read_u64();
+  const std::uint64_t win = in.read_u64();
+  BD_CHECK_MSG(fd == feature_dim_ && td == target_dim_ && win == window_,
+               "predictor shape mismatch: checkpoint ("
+                   << fd << "x" << td << ", window " << win
+                   << ") vs simulation (" << feature_dim_ << "x" << target_dim_
+                   << ", window " << window_ << ")");
+  steps_seen_ = in.read_u64();
+  next_slot_ = in.read_u64();
+  BD_CHECK_MSG(next_slot_ < window_, "corrupt predictor slot index");
+  for (Dataset& slot : history_) {
+    std::vector<double> features = in.read_f64_vector();
+    std::vector<double> targets = in.read_f64_vector();
+    slot.assign_raw(std::move(features), std::move(targets));
+  }
+  model_.reset();
+  if (steps_seen_ > 0) refit();
 }
 
 void OnlinePredictor::predict_into(std::span<const double> features,

@@ -14,6 +14,11 @@
 #include "ml/knn.hpp"
 #include "ml/linreg.hpp"
 
+namespace bd::util {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace bd::util
+
 namespace bd::ml {
 
 /// Uniform interface over the interchangeable predictors.
@@ -92,6 +97,14 @@ class OnlinePredictor {
   /// Seconds spent in the most recent refit (model training cost — the
   /// paper's Table II reports this overhead).
   double last_train_seconds() const { return last_train_seconds_; }
+
+  /// Checkpoint the sliding window. The fitted model itself is not
+  /// serialized — load() refits from the restored window, which is
+  /// deterministic for both backing regressors.
+  void save(util::BinaryWriter& out) const;
+
+  /// Restore a window written by save() with matching kind/dims/window.
+  void load(util::BinaryReader& in);
 
  private:
   void refit();

@@ -46,13 +46,19 @@ AdaptiveResult adaptive_simpson(const RadialIntegrand& f, double a, double b,
     const QuadEstimate est = simpson_estimate(f, item.a, item.b, probe);
     result.evaluations += est.evaluations;
 
-    const bool accept = est.error <= item.tol ||
+    // A non-finite estimate can never converge — bisecting a NaN integrand
+    // yields NaN on both halves — so refining it would only burn the whole
+    // interval budget (and, via the breakpoint list, unbounded memory when
+    // a poisoned grid taints every point's integrand).
+    const bool poisoned =
+        !std::isfinite(est.integral) || !std::isfinite(est.error);
+    const bool accept = poisoned || est.error <= item.tol ||
                         item.depth >= options.max_depth ||
                         intervals_created >= options.max_intervals;
     probe.branch(kBranchSite, accept);
 
     if (accept) {
-      if (est.error > item.tol) result.converged = false;
+      if (poisoned || est.error > item.tol) result.converged = false;
       result.integral += est.integral;
       result.error += est.error;
       if (item.a != a) interior.push_back(item.a);

@@ -14,6 +14,25 @@ ArgParser::ArgParser(std::string program, std::string description)
   add_string("trace", "",
              "capture telemetry spans and write chrome://tracing JSON to "
              "this path at exit (same as BD_TRACE=<path>)");
+  add_string("checkpoint", "",
+             "write simulation checkpoints to this path (atomic snapshot; "
+             "see docs/ROBUSTNESS.md)");
+  add_int("checkpoint-every", 0,
+          "checkpoint every N simulation steps (0 = off; needs --checkpoint)");
+  add_string("resume", "",
+             "restore the simulation from this checkpoint before stepping");
+}
+
+const std::string& ArgParser::checkpoint_path() const {
+  return get_string("checkpoint");
+}
+
+std::int64_t ArgParser::checkpoint_every() const {
+  return get_int("checkpoint-every");
+}
+
+const std::string& ArgParser::resume_path() const {
+  return get_string("resume");
 }
 
 void ArgParser::add_int(const std::string& name, std::int64_t default_value,

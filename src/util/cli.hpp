@@ -21,6 +21,12 @@ namespace bd::util {
 /// given, telemetry span capture (util/telemetry) starts and the chrome-
 /// trace JSON plus a per-span summary are emitted when the process exits —
 /// the CLI spelling of the `BD_TRACE=<out.json>` environment variable.
+///
+/// Simulation drivers additionally get built-in checkpoint/restart options
+/// (see docs/ROBUSTNESS.md): `--checkpoint=<path>` with
+/// `--checkpoint-every=<N>` periodically snapshots the simulation, and
+/// `--resume=<path>` restores one before stepping. Binaries that do not
+/// run a Simulation simply ignore them.
 class ArgParser {
  public:
   ArgParser(std::string program, std::string description);
@@ -41,6 +47,11 @@ class ArgParser {
   double get_double(const std::string& name) const;
   const std::string& get_string(const std::string& name) const;
   bool get_flag(const std::string& name) const;
+
+  /// Built-in checkpoint/restart options (empty / 0 when not given).
+  const std::string& checkpoint_path() const;
+  std::int64_t checkpoint_every() const;
+  const std::string& resume_path() const;
 
   /// Usage text (also printed on --help).
   std::string usage() const;

@@ -1,0 +1,148 @@
+#include "util/faultinject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/telemetry.hpp"
+
+namespace bd::util::faultinject {
+
+namespace {
+
+struct Entry {
+  FaultClass cls;
+  std::int64_t step = -1;  ///< -1 = wildcard (any step)
+  std::uint32_t count = 1;
+  std::uint64_t seed = 0;
+  bool fired = false;
+};
+
+struct Plan {
+  std::mutex mutex;
+  std::vector<Entry> entries;
+  std::uint64_t fired = 0;
+};
+
+// Leaked on purpose: fire() may run from pool workers during atexit paths.
+Plan& plan() {
+  static Plan* p = new Plan;
+  return *p;
+}
+
+/// Relaxed gate mirrored from the entry list under the plan mutex.
+std::atomic<bool> g_armed{false};
+
+FaultClass parse_class(const std::string& token) {
+  if (token == "grid_nan") return FaultClass::kGridNan;
+  if (token == "forecast") return FaultClass::kForecastCorrupt;
+  if (token == "checkpoint_truncate") return FaultClass::kCheckpointTruncate;
+  if (token == "pool_throw") return FaultClass::kPoolThrow;
+  BD_CHECK_MSG(false, "BD_FAULT: unknown fault class '"
+                          << token
+                          << "' (want grid_nan|forecast|checkpoint_truncate|"
+                             "pool_throw)");
+  return FaultClass::kGridNan;  // unreachable
+}
+
+std::int64_t parse_int(const std::string& token, const char* what) {
+  BD_CHECK_MSG(!token.empty(), "BD_FAULT: empty " << what);
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  BD_CHECK_MSG(end == token.c_str() + token.size() && v >= 0,
+               "BD_FAULT: bad " << what << " '" << token << "'");
+  return static_cast<std::int64_t>(v);
+}
+
+/// fault := class [ '@' step ] [ ':' count ]
+Entry parse_fault(const std::string& token, std::size_t index) {
+  std::string body = token;
+  Entry entry;
+  if (const auto colon = body.find(':'); colon != std::string::npos) {
+    entry.count =
+        static_cast<std::uint32_t>(parse_int(body.substr(colon + 1), "count"));
+    BD_CHECK_MSG(entry.count > 0, "BD_FAULT: count must be > 0 in '" << token
+                                                                     << "'");
+    body = body.substr(0, colon);
+  }
+  if (const auto at = body.find('@'); at != std::string::npos) {
+    entry.step = parse_int(body.substr(at + 1), "step");
+    body = body.substr(0, at);
+  }
+  entry.cls = parse_class(body);
+  // Fixed per-entry seed: the same spec corrupts the same cells every run.
+  SplitMix64 mix(0xBDFA117Bu + static_cast<std::uint64_t>(index));
+  entry.seed = mix.next();
+  return entry;
+}
+
+void install_locked(Plan& p, const std::string& spec) {
+  p.entries.clear();
+  std::size_t begin = 0;
+  while (begin <= spec.size() && !spec.empty()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(begin, end - begin);
+    if (!token.empty()) p.entries.push_back(parse_fault(token, p.entries.size()));
+    if (end == spec.size()) break;
+    begin = end + 1;
+  }
+  g_armed.store(!p.entries.empty(), std::memory_order_relaxed);
+}
+
+void install_env_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    if (const char* spec = std::getenv("BD_FAULT"); spec && *spec) {
+      Plan& p = plan();
+      std::lock_guard<std::mutex> lock(p.mutex);
+      install_locked(p, spec);
+    }
+  });
+}
+
+}  // namespace
+
+bool enabled() {
+  install_env_once();
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+void install(const std::string& spec) {
+  install_env_once();  // env plan, if any, is replaced below
+  Plan& p = plan();
+  std::lock_guard<std::mutex> lock(p.mutex);
+  install_locked(p, spec);
+}
+
+void clear() { install(""); }
+
+std::optional<Injection> fire(FaultClass cls, std::int64_t step) {
+  Plan& p = plan();
+  std::lock_guard<std::mutex> lock(p.mutex);
+  for (Entry& entry : p.entries) {
+    if (entry.fired || entry.cls != cls) continue;
+    // A site that does not know the step (e.g. the serialize layer) passes
+    // step = -1 and matches entries armed for any step.
+    if (entry.step >= 0 && step >= 0 && entry.step != step) continue;
+    entry.fired = true;
+    ++p.fired;
+    bool any_pending = false;
+    for (const Entry& e : p.entries) any_pending |= !e.fired;
+    g_armed.store(any_pending, std::memory_order_relaxed);
+    telemetry::counter_add("faultinject.injections");
+    return Injection{entry.count, entry.seed};
+  }
+  return std::nullopt;
+}
+
+std::uint64_t fired_count() {
+  Plan& p = plan();
+  std::lock_guard<std::mutex> lock(p.mutex);
+  return p.fired;
+}
+
+}  // namespace bd::util::faultinject

@@ -1,0 +1,67 @@
+#pragma once
+/// \file faultinject.hpp
+/// Deterministic fault-injection harness (off by default). Robustness
+/// claims are only testable if each failure class can be provoked on
+/// demand, at a chosen step, reproducibly — so the guarded-simulation
+/// tests install a *fault plan* and assert that the health monitor and
+/// degradation ladder actually contain every class.
+///
+/// A plan is a spec string, from the `BD_FAULT` environment variable or
+/// `install()` (tests):
+///
+///   spec   := fault (';' fault)*
+///   fault  := class [ '@' step ] [ ':' count ]
+///   class  := grid_nan | forecast | checkpoint_truncate | pool_throw
+///
+/// e.g. `BD_FAULT="grid_nan@3:8;pool_throw@5"` poisons 8 moment-grid cells
+/// with NaN at step 3 and throws from a pool job at step 5. Each fault
+/// entry fires exactly once (one-shot); omitting `@step` arms the fault
+/// for the next matching site regardless of step. Injection indices are
+/// derived from a fixed per-entry seed, so a given spec perturbs the
+/// simulation identically on every run.
+///
+/// Cost when idle: call sites gate on `enabled()`, a single relaxed
+/// atomic load that is false unless a plan with unfired entries is
+/// installed — the defaults-off hot path stays branch-predictable.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace bd::util::faultinject {
+
+/// The supported failure classes and where they are injected.
+enum class FaultClass : std::uint8_t {
+  kGridNan = 0,          ///< NaN-poison deposited moment grids (simulation)
+  kForecastCorrupt = 1,  ///< scramble forecast patterns (predictive solver)
+  kCheckpointTruncate = 2,  ///< crash mid-checkpoint-write (serialize)
+  kPoolThrow = 3,        ///< throw from a thread-pool job body (forecast)
+};
+
+/// Fast gate: true only while a plan with unfired entries is installed.
+/// The first call lazily installs the `BD_FAULT` environment spec.
+bool enabled();
+
+/// Replace the current plan with `spec` (see the grammar above; "" clears).
+/// Throws bd::CheckError on a malformed spec.
+void install(const std::string& spec);
+
+/// Remove all faults (fired and pending).
+void clear();
+
+/// Parameters of a fired fault.
+struct Injection {
+  std::uint32_t count = 1;  ///< how many cells/values to corrupt
+  std::uint64_t seed = 0;   ///< deterministic per-entry RNG seed
+};
+
+/// One-shot trigger: if an unfired fault of `cls` is armed for `step`
+/// (or armed step-wildcard), consume it and return its parameters.
+/// Thread-safe; exactly one caller wins a given entry.
+std::optional<Injection> fire(FaultClass cls, std::int64_t step);
+
+/// Total entries fired since the plan was installed (mirrors the
+/// `faultinject.injections` telemetry counter).
+std::uint64_t fired_count();
+
+}  // namespace bd::util::faultinject

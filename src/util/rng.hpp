@@ -39,6 +39,10 @@ class Xoshiro256 {
   /// Jump ahead 2^128 draws — gives independent parallel streams.
   void jump();
 
+  /// Raw generator state, for checkpoint/restart (util/serialize).
+  std::array<std::uint64_t, 4> state() const { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; }
+
  private:
   std::array<std::uint64_t, 4> s_;
 };
@@ -68,6 +72,20 @@ class Rng {
 
   /// Independent child stream (jump-based, deterministic).
   Rng split();
+
+  /// Complete stream state (generator + Box–Muller cache) so a restored
+  /// checkpoint resumes the exact draw sequence.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const { return {gen_.state(), has_cached_normal_, cached_normal_}; }
+  void set_state(const State& state) {
+    gen_.set_state(state.s);
+    has_cached_normal_ = state.has_cached_normal;
+    cached_normal_ = state.cached_normal;
+  }
 
  private:
   Xoshiro256 gen_;

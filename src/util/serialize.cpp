@@ -1,0 +1,279 @@
+#include "util/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/check.hpp"
+#include "util/faultinject.hpp"
+
+namespace bd::util {
+
+namespace {
+
+/// CRC-32 lookup table for the reflected IEEE polynomial 0xEDB88320.
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed) {
+  const std::uint32_t* table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// BinaryWriter
+// ---------------------------------------------------------------------------
+
+void BinaryWriter::write_u8(std::uint8_t v) {
+  buffer_.push_back(static_cast<std::byte>(v));
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::write_i64(std::int64_t v) {
+  write_u64(static_cast<std::uint64_t>(v));
+}
+
+void BinaryWriter::write_f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  write_u64(bits);
+}
+
+void BinaryWriter::write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+void BinaryWriter::write_string(std::string_view s) {
+  write_u64(s.size());
+  for (char c : s) buffer_.push_back(static_cast<std::byte>(c));
+}
+
+void BinaryWriter::write_f64_span(std::span<const double> values) {
+  write_u64(values.size());
+  for (double v : values) write_f64(v);
+}
+
+void BinaryWriter::write_bytes(std::span<const std::byte> bytes) {
+  write_u64(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+// ---------------------------------------------------------------------------
+// BinaryReader
+// ---------------------------------------------------------------------------
+
+const std::byte* BinaryReader::take(std::size_t n) {
+  BD_CHECK_MSG(remaining() >= n, "truncated payload: need "
+                                     << n << " bytes, have " << remaining());
+  const std::byte* p = payload_.data() + offset_;
+  offset_ += n;
+  return p;
+}
+
+std::uint8_t BinaryReader::read_u8() {
+  return static_cast<std::uint8_t>(*take(1));
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  const std::byte* p = take(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  const std::byte* p = take(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  return static_cast<std::int64_t>(read_u64());
+}
+
+double BinaryReader::read_f64() {
+  const std::uint64_t bits = read_u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+bool BinaryReader::read_bool() { return read_u8() != 0; }
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  BD_CHECK_MSG(n <= remaining(), "truncated payload: string of " << n
+                                     << " bytes, have " << remaining());
+  const std::byte* p = take(static_cast<std::size_t>(n));
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(n));
+}
+
+std::vector<double> BinaryReader::read_f64_vector() {
+  const std::uint64_t n = read_u64();
+  BD_CHECK_MSG(n * sizeof(double) <= remaining(),
+               "truncated payload: f64 array of " << n << " elements");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (double& v : out) v = read_f64();
+  return out;
+}
+
+void BinaryReader::read_f64_into(std::span<double> out) {
+  const std::uint64_t n = read_u64();
+  BD_CHECK_MSG(n == out.size(), "f64 array size mismatch: stored "
+                                    << n << ", expected " << out.size());
+  for (double& v : out) v = read_f64();
+}
+
+std::vector<std::byte> BinaryReader::read_bytes() {
+  const std::uint64_t n = read_u64();
+  BD_CHECK_MSG(n <= remaining(), "truncated payload: byte block of " << n
+                                     << " bytes, have " << remaining());
+  const std::byte* p = take(static_cast<std::size_t>(n));
+  return std::vector<std::byte>(p, p + n);
+}
+
+void write_nested_f64(BinaryWriter& out,
+                      const std::vector<std::vector<double>>& values) {
+  out.write_u64(values.size());
+  for (const auto& v : values) out.write_f64_span(v);
+}
+
+std::vector<std::vector<double>> read_nested_f64(BinaryReader& in) {
+  const std::uint64_t n = in.read_u64();
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(in.read_f64_vector());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checked files
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+void append_header(std::vector<std::byte>& out, std::uint32_t magic,
+                   std::uint32_t version, std::uint64_t payload_size,
+                   std::uint32_t crc) {
+  BinaryWriter header;
+  header.write_u32(magic);
+  header.write_u32(version);
+  header.write_u64(payload_size);
+  header.write_u32(crc);
+  const auto bytes = header.payload();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+void write_checked_file(const std::string& path, std::uint32_t magic,
+                        std::uint32_t version,
+                        std::span<const std::byte> payload) {
+  std::vector<std::byte> file;
+  file.reserve(payload.size() + 20);
+  append_header(file, magic, version, payload.size(), crc32(payload));
+  file.insert(file.end(), payload.begin(), payload.end());
+
+  // Deterministic crash-mid-write fault: flush only a prefix of the temp
+  // file and bail before the rename — the previous snapshot must survive.
+  std::size_t write_size = file.size();
+  const bool truncate_fault =
+      faultinject::enabled() &&
+      faultinject::fire(faultinject::FaultClass::kCheckpointTruncate, -1)
+          .has_value();
+  if (truncate_fault) write_size = file.size() / 2;
+
+  const std::string tmp = path + ".tmp";
+  {
+    FileHandle f(std::fopen(tmp.c_str(), "wb"));
+    BD_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing");
+    const std::size_t written =
+        std::fwrite(file.data(), 1, write_size, f.get());
+    BD_CHECK_MSG(written == write_size && std::fflush(f.get()) == 0,
+                 "short write to " << tmp);
+  }
+  BD_CHECK_MSG(!truncate_fault,
+               "fault injected: checkpoint write to " << path
+                                                      << " truncated mid-file");
+  BD_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot rename " << tmp << " over " << path);
+}
+
+std::vector<std::byte> read_checked_file(const std::string& path,
+                                         std::uint32_t magic,
+                                         std::uint32_t& version_out) {
+  FileHandle f(std::fopen(path.c_str(), "rb"));
+  BD_CHECK_MSG(f != nullptr, "cannot open checkpoint file: " << path);
+  std::vector<std::byte> file;
+  std::byte chunk[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f.get())) > 0) {
+    file.insert(file.end(), chunk, chunk + n);
+  }
+  BD_CHECK_MSG(std::ferror(f.get()) == 0, "read error on " << path);
+
+  constexpr std::size_t kHeaderSize = 20;  // magic + version + size + crc
+  BD_CHECK_MSG(file.size() >= kHeaderSize,
+               path << ": too short to be a checkpoint (" << file.size()
+                    << " bytes)");
+  BinaryReader header(std::span<const std::byte>(file.data(), kHeaderSize));
+  const std::uint32_t stored_magic = header.read_u32();
+  BD_CHECK_MSG(stored_magic == magic,
+               path << ": bad magic 0x" << std::hex << stored_magic
+                    << ", expected 0x" << magic);
+  version_out = header.read_u32();
+  const std::uint64_t payload_size = header.read_u64();
+  const std::uint32_t stored_crc = header.read_u32();
+  BD_CHECK_MSG(file.size() - kHeaderSize == payload_size,
+               path << ": truncated payload — header declares " << payload_size
+                    << " bytes, file holds " << (file.size() - kHeaderSize));
+  const std::span<const std::byte> payload(file.data() + kHeaderSize,
+                                           static_cast<std::size_t>(payload_size));
+  const std::uint32_t actual_crc = crc32(payload);
+  BD_CHECK_MSG(actual_crc == stored_crc,
+               path << ": CRC mismatch — stored 0x" << std::hex << stored_crc
+                    << ", computed 0x" << actual_crc);
+  return std::vector<std::byte>(payload.begin(), payload.end());
+}
+
+}  // namespace bd::util

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "quad/adaptive.hpp"
 #include "quad/partition.hpp"
@@ -55,6 +56,28 @@ TEST(Adaptive, SingularKernelIntegrates) {
       1.5 * (std::pow(1.05, 2.0 / 3.0) - std::pow(0.05, 2.0 / 3.0));
   EXPECT_TRUE(r.converged);
   EXPECT_NEAR(r.integral, exact, 1e-7);
+}
+
+TEST(Adaptive, NanIntegrandTerminatesWithoutRefining) {
+  // A poisoned integrand can never satisfy the error test; the driver must
+  // give up on such an interval immediately instead of bisecting it until
+  // the interval budget is exhausted (each bisection also grows the
+  // breakpoint list, so budget-exhaustion here is also a memory blow-up).
+  const FunctionIntegrand f(
+      [](double) { return std::numeric_limits<double>::quiet_NaN(); });
+  const AdaptiveResult r = adaptive_simpson(f, 0.0, 1.0, 1e-9, probe());
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.breakpoints.size(), 2u);          // no refinement happened
+  EXPECT_LT(r.evaluations, 16u);                // one Simpson estimate
+  EXPECT_TRUE(std::isnan(r.integral));          // poison stays visible
+}
+
+TEST(Adaptive, InfIntegrandTerminatesWithoutRefining) {
+  const FunctionIntegrand f(
+      [](double) { return std::numeric_limits<double>::infinity(); });
+  const AdaptiveResult r = adaptive_simpson(f, 0.0, 1.0, 1e-9, probe());
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.breakpoints.size(), 2u);
 }
 
 TEST(Adaptive, DepthLimitMarksNonConverged) {

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "core/predictive.hpp"
+#include "core/simulation.hpp"
 #include "simt/device.hpp"
 #include "simt/executor.hpp"
 #include "test_helpers.hpp"
@@ -157,6 +160,56 @@ TEST(Determinism, RepeatedParallelRunsIdentical) {
   const simt::KernelMetrics b = run_synthetic_launch();
   util::ThreadPool::set_global_threads(0);
   expect_identical(a, b);
+}
+
+TEST(Determinism, CheckpointRoundTripBitwiseIdentical) {
+  // Straight run of 2N steps vs checkpoint-at-N + in-place resume: the
+  // second N steps must match bit-for-bit, *including* the SIMT cache
+  // metrics. The restore goes into the same Simulation object because the
+  // cache replay records actual history-buffer addresses — GridHistory::
+  // load copies into the existing allocation, so a restored in-place run
+  // replays the exact memory behaviour. (Cross-object restores can only
+  // promise identical physics; see test_checkpoint.cpp.)
+  const std::string path = ::testing::TempDir() + "bd_determinism_ckpt.bin";
+  core::SimConfig config;
+  config.particles = 4000;
+  config.nx = 16;
+  config.ny = 16;
+  config.tolerance = 1e-5;
+  config.rigid = false;
+
+  core::Simulation sim(
+      config, std::make_unique<core::PredictiveSolver>(simt::tesla_k40()));
+  sim.initialize();
+  sim.run(2);
+  core::save_checkpoint(sim, path);
+  const std::vector<core::StepStats> straight = sim.run(2);
+
+  core::restore_checkpoint(sim, path);
+  EXPECT_EQ(sim.current_step(), 2);
+  const std::vector<core::StepStats> resumed = sim.run(2);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(straight.size(), resumed.size());
+  for (std::size_t k = 0; k < straight.size(); ++k) {
+    const core::SolveResult& a = straight[k].longitudinal;
+    const core::SolveResult& b = resumed[k].longitudinal;
+    expect_identical(a.metrics, b.metrics);
+    EXPECT_EQ(a.fallback_items, b.fallback_items);
+    EXPECT_EQ(a.kernel_intervals, b.kernel_intervals);
+    ASSERT_EQ(a.values.data().size(), b.values.data().size());
+    for (std::size_t i = 0; i < a.values.data().size(); ++i) {
+      ASSERT_EQ(a.values.data()[i], b.values.data()[i])
+          << "step " << k << " node " << i;
+      ASSERT_EQ(a.errors.data()[i], b.errors.data()[i])
+          << "step " << k << " node " << i;
+    }
+    ASSERT_EQ(a.observed.flat().size(), b.observed.flat().size());
+    for (std::size_t i = 0; i < a.observed.flat().size(); ++i) {
+      ASSERT_EQ(a.observed.flat()[i], b.observed.flat()[i])
+          << "step " << k << " entry " << i;
+    }
+  }
 }
 
 TEST(Determinism, TelemetryCaptureDoesNotPerturbMetrics) {

@@ -56,5 +56,58 @@ TEST_F(PatternIoTest, MalformedRowThrows) {
   EXPECT_THROW(load_pattern_field(path_), bd::CheckError);
 }
 
+TEST_F(PatternIoTest, NonNumericCellThrowsWithContext) {
+  {
+    std::ofstream out(path_);
+    out << "point,n0,n1\n0,1.0,2.0\n1,oops,2.0\n";
+  }
+  try {
+    load_pattern_field(path_);
+    FAIL() << "expected rejection of non-numeric cell";
+  } catch (const bd::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("oops"), std::string::npos) << what;
+  }
+}
+
+TEST_F(PatternIoTest, TrailingGarbageInCellThrows) {
+  {
+    std::ofstream out(path_);
+    out << "point,n0\n0,1.5x\n";  // std::stod would accept this silently
+  }
+  EXPECT_THROW(load_pattern_field(path_), bd::CheckError);
+}
+
+TEST_F(PatternIoTest, NanCountThrows) {
+  {
+    std::ofstream out(path_);
+    out << "point,n0,n1\n0,nan,2.0\n";
+  }
+  EXPECT_THROW(load_pattern_field(path_), bd::CheckError);
+}
+
+TEST_F(PatternIoTest, NegativeCountThrows) {
+  {
+    std::ofstream out(path_);
+    out << "point,n0,n1\n0,1.0,-3.0\n";
+  }
+  EXPECT_THROW(load_pattern_field(path_), bd::CheckError);
+}
+
+TEST_F(PatternIoTest, TruncatedMidRowThrows) {
+  {
+    std::ofstream out(path_);
+    out << "point,n0,n1\n0,1.0,2.0\n1,4.0";  // file cut mid-row
+  }
+  EXPECT_THROW(load_pattern_field(path_), bd::CheckError);
+}
+
+TEST_F(PatternIoTest, EmptyFileThrows) {
+  { std::ofstream out(path_); }
+  EXPECT_THROW(load_pattern_field(path_), bd::CheckError);
+}
+
 }  // namespace
 }  // namespace bd::core

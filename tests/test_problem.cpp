@@ -2,11 +2,42 @@
 
 #include <gtest/gtest.h>
 
+#include "core/predictive.hpp"
 #include "core/problem.hpp"
+#include "simt/device.hpp"
 #include "test_helpers.hpp"
+#include "util/check.hpp"
 
 namespace bd::core {
 namespace {
+
+TEST(PredictiveOptionsValidation, RejectsBadFieldsByName) {
+  const auto expect_rejected = [](auto mutate, const std::string& field) {
+    PredictiveOptions options;
+    mutate(options);
+    try {
+      PredictiveSolver solver(simt::tesla_k40(), options);
+      FAIL() << "expected rejection of bad " << field;
+    } catch (const bd::CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << "message should name '" << field << "': " << e.what();
+    }
+  };
+  expect_rejected([](PredictiveOptions& o) { o.training_stride = 0; },
+                  "training_stride");
+  expect_rejected([](PredictiveOptions& o) { o.training_window = 0; },
+                  "training_window");
+  expect_rejected([](PredictiveOptions& o) { o.tile_w = 0; }, "tile_w");
+  expect_rejected([](PredictiveOptions& o) { o.tile_h = 0; }, "tile_h");
+  expect_rejected([](PredictiveOptions& o) { o.observation_ema = 0.0; },
+                  "observation_ema");
+  expect_rejected([](PredictiveOptions& o) { o.observation_ema = 1.5; },
+                  "observation_ema");
+}
+
+TEST(PredictiveOptionsValidation, DefaultsConstruct) {
+  EXPECT_NO_THROW(PredictiveSolver(simt::tesla_k40(), PredictiveOptions{}));
+}
 
 TEST(RpProblem, GeometryHelpers) {
   const bd::testing::ProblemFixture fixture(16, 1e-6, 10);

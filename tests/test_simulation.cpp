@@ -43,6 +43,40 @@ TEST(Simulation, RequiresSolver) {
   EXPECT_THROW(Simulation(small_config(), nullptr), bd::CheckError);
 }
 
+TEST(SimConfigValidation, RejectsBadFieldsByName) {
+  const auto expect_rejected = [](auto mutate, const std::string& field) {
+    SimConfig config = small_config();
+    mutate(config);
+    try {
+      Simulation sim(config, predictive());
+      FAIL() << "expected rejection of bad " << field;
+    } catch (const bd::CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << "message should name '" << field << "': " << e.what();
+    }
+  };
+  expect_rejected([](SimConfig& c) { c.particles = 0; }, "particles");
+  expect_rejected([](SimConfig& c) { c.nx = 0; }, "nx");
+  expect_rejected([](SimConfig& c) { c.ny = 0; }, "ny");
+  expect_rejected([](SimConfig& c) { c.half_extent_x = 0.0; },
+                  "half_extent_x");
+  expect_rejected([](SimConfig& c) { c.sub_width = -1.0; }, "sub_width");
+  expect_rejected([](SimConfig& c) { c.num_subregions = 0; },
+                  "num_subregions");
+  expect_rejected([](SimConfig& c) { c.tolerance = 0.0; }, "tolerance");
+  expect_rejected([](SimConfig& c) { c.tolerance = -1e-6; }, "tolerance");
+  expect_rejected([](SimConfig& c) { c.dt = 0.0; }, "dt");
+  expect_rejected([](SimConfig& c) { c.health.max_sanitized_fraction = 0.0; },
+                  "max_sanitized_fraction");
+  expect_rejected([](SimConfig& c) { c.health.demote_after = 0; },
+                  "demote_after");
+}
+
+TEST(SimConfigValidation, DefaultsAreValid) {
+  SimConfig config;
+  EXPECT_NO_THROW(config.validate());
+}
+
 TEST(Simulation, TransverseNeedsSecondSolver) {
   SimConfig config = small_config();
   config.compute_transverse = true;

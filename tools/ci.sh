@@ -4,10 +4,16 @@
 # rp-kernels/solvers, deposition, k-means) with an oversubscribed pool
 # (BD_NUM_THREADS=8) so cross-thread interleavings actually happen.
 #
-# A third stage checks docs consistency (tools/check_docs.sh): every
+# An ASan+UBSan stage reruns the whole suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (unlike TSan, the overhead is small enough
+# for all of it). The robustness surface — serialization, checkpoint
+# restore, fault injection, input parsers — handles corrupt/adversarial
+# bytes, so memory errors hide there first.
+#
+# A docs stage checks docs consistency (tools/check_docs.sh): every
 # telemetry name documented in docs/METRICS.md, no dead markdown links.
 #
-# Usage: tools/ci.sh [tier1|tsan|docs|all]   (default: all)
+# Usage: tools/ci.sh [tier1|tsan|asan|docs|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +35,13 @@ tsan() {
   ctest --preset tsan -j 1
 }
 
+asan() {
+  echo "=== asan: full test suite under Address+UBSanitizer ==="
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  ctest --preset asan -j "$(nproc)"
+}
+
 docs() {
   echo "=== docs: telemetry names + markdown links ==="
   tools/check_docs.sh
@@ -37,8 +50,9 @@ docs() {
 case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
+  asan) asan ;;
   docs) docs ;;
-  all) tier1; tsan; docs ;;
-  *) echo "unknown stage: $stage (want tier1|tsan|docs|all)" >&2; exit 2 ;;
+  all) tier1; tsan; asan; docs ;;
+  *) echo "unknown stage: $stage (want tier1|tsan|asan|docs|all)" >&2; exit 2 ;;
 esac
 echo "CI ($stage) OK"
