@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "quad/partition_set.hpp"
 
 namespace bd::baselines {
 
@@ -49,7 +50,7 @@ class HeuristicSolver final : public core::RpSolver {
   simt::DeviceSpec device_;
   HeuristicOptions options_;
   /// Per-point partitions carried between steps (heuristic 1).
-  std::vector<std::vector<double>> previous_partitions_;
+  quad::PartitionSet previous_partitions_;
 };
 
 }  // namespace bd::baselines

@@ -11,22 +11,13 @@ namespace bd::beam {
 
 namespace {
 constexpr std::uint32_t kRangeSite = simt::site_id("beam/wake/s-range");
-
-double gaussian_kernel(double x, double sigma) {
-  const double z = x / sigma;
-  return std::exp(-0.5 * z * z) / (sigma * std::sqrt(2.0 * M_PI));
-}
-
-double gaussian_kernel_prime(double x, double sigma) {
-  return -x / (sigma * sigma) * gaussian_kernel(x, sigma);
-}
 }  // namespace
 
 WakeModel WakeModel::longitudinal() { return WakeModel{}; }
 
 WakeModel WakeModel::transverse() {
   WakeModel m;
-  m.kernel_power = -2.0 / 3;
+  m.kernel_power = kTransverseKernelPower;
   m.coupling_derivative = true;
   m.channel = kChannelRho;
   return m;
@@ -37,18 +28,25 @@ WakeIntegrand::WakeIntegrand(const GridHistory& history,
                              double y_point, std::int64_t step,
                              double sub_width)
     : history_(history),
-      model_(model),
+      amplitude_(model.amplitude),
+      kernel_power_(model.kernel_power),
+      regularization_(model.regularization),
+      channel_(model.channel),
       s_point_(s_point),
       y_point_(y_point),
       step_(step),
       sub_width_(sub_width) {
   BD_CHECK(sub_width > 0.0);
-  BD_CHECK(model.inner_points >= 2 && model.inner_points <= 9);
+  BD_CHECK(model.inner_points >= 2 && model.inner_points <= kMaxInnerPoints);
+  pow_kind_ = model.kernel_power == kLongitudinalKernelPower
+                  ? PowKind::kLongitudinal
+                  : model.kernel_power == kTransverseKernelPower
+                        ? PowKind::kTransverse
+                        : PowKind::kGeneric;
   const double w = model.inner_halfwidth_sigmas * model.coupling_sigma;
   inner_lo_ = y_point - w;
   inner_width_ = 2.0 * w;
-  inner_y_.resize(static_cast<std::size_t>(model.inner_points));
-  inner_w_.resize(static_cast<std::size_t>(model.inner_points));
+  inner_count_ = model.inner_points;
   if (model.inner_rule == InnerRule::kNewtonCotes) {
     const auto nc = quad::newton_cotes_weights(model.inner_points);
     for (int i = 0; i < model.inner_points; ++i) {
@@ -67,13 +65,18 @@ WakeIntegrand::WakeIntegrand(const GridHistory& history,
           rule.weights[static_cast<std::size_t>(i)] * w;
     }
   }
-  // Fold the (fixed per grid point) coupling factor into the weights.
+  // Fold the (fixed per grid point) coupling factor into the weights. The
+  // Gaussian normalization σ√2π and σ² are hoisted out of the node loop —
+  // same expressions, evaluated once.
+  const double sigma = model.coupling_sigma;
+  const double norm = sigma * std::sqrt(2.0 * M_PI);
+  const double sigma_sq = sigma * sigma;
   for (int i = 0; i < model.inner_points; ++i) {
     const double delta = y_point - inner_y_[static_cast<std::size_t>(i)];
-    const double coupling = model.coupling_derivative
-                                ? gaussian_kernel_prime(delta,
-                                                        model.coupling_sigma)
-                                : gaussian_kernel(delta, model.coupling_sigma);
+    const double z = delta / sigma;
+    const double kernel = std::exp(-0.5 * z * z) / norm;
+    const double coupling =
+        model.coupling_derivative ? -delta / sigma_sq * kernel : kernel;
     inner_w_[static_cast<std::size_t>(i)] *= coupling;
   }
 }
@@ -89,15 +92,28 @@ double WakeIntegrand::eval(double u, simt::LaneProbe& probe) const {
 
   const double t_steps = static_cast<double>(step_) - u / sub_width_;
   double inner = 0.0;
-  for (std::size_t i = 0; i < inner_y_.size(); ++i) {
-    const double f = sample_spacetime(history_, model_.channel, s,
-                                      inner_y_[i], t_steps, probe);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(inner_count_); ++i) {
+    const double f =
+        sample_spacetime(history_, channel_, s, inner_y_[i], t_steps, probe);
     inner += inner_w_[i] * f;
   }
-  probe.count_flops(2 * inner_y_.size() + 12);
-  const double kernel =
-      std::pow(u + model_.regularization, model_.kernel_power);
-  return model_.amplitude * kernel * inner;
+  probe.count_flops(2 * static_cast<std::size_t>(inner_count_) + 12);
+  // Dispatch the radial kernel on the two paper exponents so std::pow sees
+  // a compile-time constant (identical value → bit-identical result).
+  const double base = u + regularization_;
+  double kernel;
+  switch (pow_kind_) {
+    case PowKind::kLongitudinal:
+      kernel = std::pow(base, kLongitudinalKernelPower);
+      break;
+    case PowKind::kTransverse:
+      kernel = std::pow(base, kTransverseKernelPower);
+      break;
+    default:
+      kernel = std::pow(base, kernel_power_);
+      break;
+  }
+  return amplitude_ * kernel * inner;
 }
 
 }  // namespace bd::beam

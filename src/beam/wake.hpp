@@ -8,11 +8,20 @@
 /// CSR wake singularity (p = -1/3 longitudinal, -2/3 transverse; Derbenev
 /// et al. / Murphy et al. — the paper's validation references [24], [25]).
 
+#include <array>
+#include <cstdint>
+
 #include "beam/history.hpp"
 #include "beam/units.hpp"
 #include "quad/integrand.hpp"
 
 namespace bd::beam {
+
+/// The paper's two radial-kernel exponents. Kept as named constants so the
+/// per-eval kernel dispatch can hand `std::pow` a compile-time exponent
+/// (same double value as the model field — bit-identical results).
+inline constexpr double kLongitudinalKernelPower = -1.0 / 3;
+inline constexpr double kTransverseKernelPower = -2.0 / 3;
 
 /// Which quadrature rule samples the inner (transverse) integral. The
 /// paper uses Newton–Cotes; at the small α a GPU kernel can afford, NC
@@ -24,7 +33,7 @@ enum class InnerRule { kNewtonCotes, kGaussLegendre };
 /// Parameters of one retarded-interaction component.
 struct WakeModel {
   double amplitude = 0.05;        ///< overall strength C
-  double kernel_power = -1.0 / 3; ///< radial kernel exponent p
+  double kernel_power = kLongitudinalKernelPower; ///< radial kernel exponent p
   double regularization = 0.05;   ///< u0 — keeps (u+u0)^p finite at u=0
   double coupling_sigma = 1.0;    ///< σ_c of the transverse coupling
   bool coupling_derivative = false; ///< use G'σc (transverse force) if true
@@ -41,9 +50,18 @@ struct WakeModel {
   static WakeModel transverse();
 };
 
+/// Maximum inner sample points a WakeIntegrand supports. The model asserts
+/// inner_points ≤ 9, which lets the integrand keep its node/weight tables
+/// in fixed arrays — constructing one allocates nothing.
+inline constexpr int kMaxInnerPoints = 9;
+
 /// rp-integrand for one grid point at one time step. eval(u) computes the
 /// inner Newton–Cotes integral at retarded separation u, sampling the
 /// moment history through the 27-point space–time stencil.
+///
+/// Construction copies the model scalars it needs (no reference retained)
+/// and performs no heap allocation, so hot paths can build one per grid
+/// point on the stack.
 class WakeIntegrand final : public quad::RadialIntegrand {
  public:
   /// \param sub_width c·Δt — the radial subregion width; converts u to a
@@ -58,8 +76,15 @@ class WakeIntegrand final : public quad::RadialIntegrand {
   double y_point() const { return y_point_; }
 
  private:
+  /// Which compile-time exponent the radial kernel dispatch can use.
+  enum class PowKind : std::uint8_t { kLongitudinal, kTransverse, kGeneric };
+
   const GridHistory& history_;
-  const WakeModel& model_;
+  double amplitude_;
+  double kernel_power_;
+  double regularization_;
+  MomentChannel channel_;
+  PowKind pow_kind_;
   double s_point_;
   double y_point_;
   std::int64_t step_;
@@ -67,8 +92,9 @@ class WakeIntegrand final : public quad::RadialIntegrand {
   // Precomputed inner nodes/weights (fixed per grid point).
   double inner_lo_;
   double inner_width_;
-  std::vector<double> inner_y_;
-  std::vector<double> inner_w_;  // NC weight × coupling factor
+  int inner_count_;
+  std::array<double, kMaxInnerPoints> inner_y_;
+  std::array<double, kMaxInnerPoints> inner_w_;  // NC weight × coupling
 };
 
 }  // namespace bd::beam

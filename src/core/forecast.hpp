@@ -44,4 +44,37 @@ std::vector<double> pattern_to_partition_adaptive(
     std::span<const double> pattern, const std::vector<double>& previous,
     double sub_width, double r_max, double headroom = kPartitionHeadroom);
 
+// --- Allocation-free variants (PartitionSet fill path) ---
+//
+// The *_bound functions return a breakpoint-count upper bound for one
+// point, so a PartitionSet can lay out all rows in a single serial pass;
+// the *_into functions then fill each row slot in parallel, producing
+// exactly the same breakpoints as the vector-returning transforms above.
+// The adaptive variants require `previous` to span [0, r_max] (which
+// every solver-built partition does) so the per-subregion interval counts
+// can be derived from a single monotone walk instead of a scratch array.
+
+/// Breakpoint-count bound of the uniform transform.
+std::size_t pattern_to_partition_bound(std::span<const double> pattern,
+                                       double headroom = kPartitionHeadroom);
+
+/// Uniform transform into a caller-provided slot (>= the bound). Returns
+/// the number of breakpoints written.
+std::size_t pattern_to_partition_into(std::span<const double> pattern,
+                                      double sub_width, double r_max,
+                                      std::span<double> out,
+                                      double headroom = kPartitionHeadroom);
+
+/// Breakpoint-count bound of the adaptive transform.
+std::size_t pattern_to_partition_adaptive_bound(
+    std::span<const double> pattern, std::span<const double> previous,
+    double sub_width, double r_max, double headroom = kPartitionHeadroom);
+
+/// Adaptive transform into a caller-provided slot (>= the bound). Returns
+/// the number of breakpoints written.
+std::size_t pattern_to_partition_adaptive_into(
+    std::span<const double> pattern, std::span<const double> previous,
+    double sub_width, double r_max, std::span<double> out,
+    double headroom = kPartitionHeadroom);
+
 }  // namespace bd::core

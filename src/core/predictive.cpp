@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/rp_kernels.hpp"
+#include "core/solver_scratch.hpp"
 #include "quad/partition.hpp"
 #include "util/check.hpp"
 #include "util/faultinject.hpp"
@@ -60,6 +61,30 @@ void PredictiveSolver::reset() {
   smoothed_ = PatternField{};
 }
 
+namespace {
+
+/// MERGE-LISTS fold over a member range: merge the members' partitions into
+/// one list using the scratch ping/pong buffers, append it as a row of
+/// `out` and return the row id. The fold order (and therefore every
+/// rounding decision) matches the historical pairwise merge_partitions
+/// chain exactly.
+std::size_t fold_merge_row(const quad::PartitionSet& parts,
+                           std::span<const std::uint32_t> members,
+                           SolverScratch& scratch, quad::PartitionSet& out) {
+  if (members.empty()) return out.add_row({});
+  std::span<const double> acc = parts.at(members[0]);
+  std::vector<double>* front = &scratch.merge_a;
+  std::vector<double>* spare = &scratch.merge_b;
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    quad::merge_partitions_into(acc, parts.at(members[i]), *front);
+    acc = *front;
+    std::swap(front, spare);
+  }
+  return out.add_row(acc);
+}
+
+}  // namespace
+
 SolveResult PredictiveSolver::solve(const RpProblem& problem) {
   if (!trained()) return solve_bootstrap(problem);
   return solve_predictive(problem);
@@ -67,12 +92,19 @@ SolveResult PredictiveSolver::solve(const RpProblem& problem) {
 
 SolveResult PredictiveSolver::solve_bootstrap(const RpProblem& problem) {
   util::WallTimer wall;
+  SolverScratch& scratch = scratch_for(problem);
 
-  const std::vector<double> coarse = pattern_to_partition(
-      std::vector<double>(problem.num_subregions, 1.0), problem.sub_width,
-      problem.r_max(), /*headroom=*/1.0);
-  std::vector<std::vector<double>> point_partitions(problem.num_points(),
-                                                    coarse);
+  // Single coarse row (one interval per subregion) aliased by every point.
+  const auto ones = scratch.acquire_fill(scratch.ones,
+                                         problem.num_subregions, 1.0);
+  quad::PartitionSet& parts = scratch.point_partitions;
+  parts.reset(problem.num_points());
+  const auto slot = scratch.acquire(
+      scratch.merge_a, pattern_to_partition_bound(ones, /*headroom=*/1.0));
+  const std::size_t len = pattern_to_partition_into(
+      ones, problem.sub_width, problem.r_max(), slot, /*headroom=*/1.0);
+  parts.bind_all(parts.add_row(slot.first(len)));
+
   const ClusterAssignment blocks =
       chunk_clustering(problem.num_points(), 128);
 
@@ -80,12 +112,12 @@ SolveResult PredictiveSolver::solve_bootstrap(const RpProblem& problem) {
   input.problem = &problem;
   input.clusters = &blocks;
   input.source = PartitionSource::kPerPoint;
-  input.point_partitions = &point_partitions;
+  input.partitions = &parts;
 
-  RpKernelOutput kernel1 = run_compute_rp_integral(device_, input);
+  RpKernelOutput kernel1 = run_compute_rp_integral(device_, input, scratch);
   const FallbackOutput kernel2 = run_adaptive_fallback(
       device_, problem, kernel1.failed, kernel1.integral, kernel1.error,
-      kernel1.contributions);
+      kernel1.contributions, scratch);
 
   simt::KernelMetrics metrics = kernel1.metrics;
   metrics += kernel2.metrics;
@@ -95,6 +127,7 @@ SolveResult PredictiveSolver::solve_bootstrap(const RpProblem& problem) {
     telemetry::TraceSpan span("predictive.learn", "core");
     learn(problem, kernel1.contributions, train_seconds);
   }
+  scratch.flush_metrics();
 
   SolveResult result = detail::make_result(
       problem, std::move(kernel1.integral), std::move(kernel1.error),
@@ -131,6 +164,7 @@ PatternField PredictiveSolver::forecast(const RpProblem& problem) const {
 
 SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   util::WallTimer wall;
+  SolverScratch& scratch = scratch_for(problem);
   const std::size_t num_points = problem.num_points();
 
   telemetry::TraceSession& session = telemetry::TraceSession::global();
@@ -170,19 +204,32 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
     telemetry::counter_add("predictive.forecast_sanitized", sanitized);
   }
 
-  std::vector<std::vector<double>> point_partitions(num_points);
+  // Per-point partitions into the step-persistent PartitionSet: a serial
+  // layout pass over per-row bounds, then an allocation-free parallel fill.
+  quad::PartitionSet& parts = scratch.point_partitions;
+  parts.reset(num_points);
   const bool use_adaptive =
       options_.transform == PartitionTransform::kAdaptive &&
-      previous_partitions_.size() == num_points;
+      previous_partitions_.entries() == num_points;
+  const auto caps = scratch.acquire(scratch.row_caps, num_points);
   util::parallel_for(0, num_points, [&](std::size_t p) {
-    point_partitions[p] =
+    caps[p] = use_adaptive
+                  ? pattern_to_partition_adaptive_bound(
+                        predicted.at(p), previous_partitions_.at(p),
+                        problem.sub_width, problem.r_max())
+                  : pattern_to_partition_bound(predicted.at(p));
+  });
+  parts.layout_rows(caps);
+  util::parallel_for(0, num_points, [&](std::size_t p) {
+    const std::span<double> slot = parts.row_slot(p);
+    const std::size_t len =
         use_adaptive
-            ? pattern_to_partition_adaptive(predicted.at(p),
-                                            previous_partitions_[p],
-                                            problem.sub_width,
-                                            problem.r_max())
-            : pattern_to_partition(predicted.at(p), problem.sub_width,
-                                   problem.r_max());
+            ? pattern_to_partition_adaptive_into(
+                  predicted.at(p), previous_partitions_.at(p),
+                  problem.sub_width, problem.r_max(), slot)
+            : pattern_to_partition_into(predicted.at(p), problem.sub_width,
+                                        problem.r_max(), slot);
+    parts.set_row_length(p, len);
   });
   const double forecast_seconds = forecast_timer.seconds();
   if (session.enabled()) {
@@ -227,33 +274,31 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   // MERGE-LISTS: a shared partition per warp (default) or per cluster.
   // Warp granularity keeps control flow lockstep exactly where SIMD
   // hardware needs it while evaluating barely more intervals than the
-  // members individually require.
-  std::vector<std::vector<double>> shared;
+  // members individually require. Each merged list is stored once as a
+  // PartitionSet row and aliased by every member entry.
+  quad::PartitionSet& merged = scratch.merged;
   const std::size_t warp = device_.warp_size;
-  for (std::size_t c = 0; c < clusters.members.size(); ++c) {
-    const auto& members = clusters.members[c];
-    if (options_.merge_per_warp) {
+  if (options_.merge_per_warp) {
+    merged.reset(num_points);
+    // A merged row never exceeds the Σ of its inputs: one reserve bounds
+    // the whole fold (no add_row growth cascade on record-sized steps).
+    merged.reserve_breaks(parts.used());
+    for (std::size_t c = 0; c < clusters.members.size(); ++c) {
+      const auto& members = clusters.members[c];
       for (std::size_t lo = 0; lo < members.size(); lo += warp) {
         const std::size_t hi = std::min(members.size(), lo + warp);
-        std::vector<double> merged;
-        for (std::size_t i = lo; i < hi; ++i) {
-          merged = merged.empty()
-                       ? point_partitions[members[i]]
-                       : quad::merge_partitions(merged,
-                                                point_partitions[members[i]]);
-        }
-        for (std::size_t i = lo; i < hi; ++i) {
-          point_partitions[members[i]] = merged;
-        }
+        const std::span<const std::uint32_t> group(members.data() + lo,
+                                                   hi - lo);
+        const std::size_t row = fold_merge_row(parts, group, scratch, merged);
+        for (std::uint32_t p : group) merged.bind(p, row);
       }
-    } else {
-      std::vector<double> merged;
-      for (std::uint32_t p : members) {
-        merged = merged.empty()
-                     ? point_partitions[p]
-                     : quad::merge_partitions(merged, point_partitions[p]);
-      }
-      shared.push_back(std::move(merged));
+    }
+  } else {
+    merged.reset(clusters.members.size());
+    merged.reserve_breaks(parts.used());
+    for (std::size_t c = 0; c < clusters.members.size(); ++c) {
+      merged.bind(c, fold_merge_row(parts, clusters.members[c], scratch,
+                                    merged));
     }
   }
   const double clustering_seconds = cluster_timer.seconds();
@@ -272,19 +317,15 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   RpKernelInput input;
   input.problem = &problem;
   input.clusters = &clusters;
-  if (options_.merge_per_warp) {
-    input.source = PartitionSource::kPerPoint;
-    input.point_partitions = &point_partitions;
-  } else {
-    input.source = PartitionSource::kSharedPerCluster;
-    input.shared_partitions = &shared;
-  }
-  RpKernelOutput kernel1 = run_compute_rp_integral(device_, input);
+  input.source = options_.merge_per_warp ? PartitionSource::kPerPoint
+                                         : PartitionSource::kSharedPerCluster;
+  input.partitions = &merged;
+  RpKernelOutput kernel1 = run_compute_rp_integral(device_, input, scratch);
 
   // (5) adaptive fallback for intervals that missed τ.
   const FallbackOutput kernel2 = run_adaptive_fallback(
       device_, problem, kernel1.failed, kernel1.integral, kernel1.error,
-      kernel1.contributions);
+      kernel1.contributions, scratch);
 
   simt::KernelMetrics metrics = kernel1.metrics;
   metrics += kernel2.metrics;
@@ -294,9 +335,15 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   const double forecast_mae = pattern_mae(predicted, kernel1.contributions);
   telemetry::gauge_set("predictive.forecast_mae", forecast_mae);
 
-  // Remember per-point partitions for the adaptive transform.
+  // Remember per-point partitions for the adaptive transform: the
+  // warp-merged lists each member actually walked (per-warp mode), or the
+  // unmerged per-point partitions (per-cluster mode) — exactly what the
+  // vector-based path stored.
   if (options_.transform == PartitionTransform::kAdaptive) {
-    previous_partitions_ = std::move(point_partitions);
+    previous_partitions_.copy_from(options_.merge_per_warp
+                                       ? scratch.merged
+                                       : scratch.point_partitions);
+    scratch.absorb(previous_partitions_);
   }
 
   // (6) ONLINE-LEARNING on the observed patterns.
@@ -305,6 +352,7 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
     telemetry::TraceSpan span("predictive.learn", "core");
     learn(problem, kernel1.contributions, train_seconds);
   }
+  scratch.flush_metrics();
 
   SolveResult result = detail::make_result(
       problem, std::move(kernel1.integral), std::move(kernel1.error),
@@ -326,7 +374,7 @@ void PredictiveSolver::save_state(util::BinaryWriter& out) const {
     out.write_u64(predictor_->target_dim());
     predictor_->save(out);
   }
-  util::write_nested_f64(out, previous_partitions_);
+  quad::write_partition_set_nested(out, previous_partitions_);
   out.write_u64(smoothed_.points());
   out.write_u64(smoothed_.subregions());
   out.write_f64_span(smoothed_.flat());
@@ -343,7 +391,7 @@ void PredictiveSolver::load_state(util::BinaryReader& in) {
   } else {
     predictor_.reset();
   }
-  previous_partitions_ = util::read_nested_f64(in);
+  quad::read_partition_set_nested(in, previous_partitions_);
   const std::uint64_t points = in.read_u64();
   const std::uint64_t subregions = in.read_u64();
   smoothed_ = PatternField(points, subregions);

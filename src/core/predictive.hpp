@@ -26,6 +26,7 @@
 #include "core/forecast.hpp"
 #include "core/solver.hpp"
 #include "ml/online.hpp"
+#include "quad/partition_set.hpp"
 
 namespace bd::core {
 
@@ -89,7 +90,7 @@ class PredictiveSolver final : public RpSolver {
   simt::DeviceSpec device_;
   PredictiveOptions options_;
   std::unique_ptr<ml::OnlinePredictor> predictor_;
-  std::vector<std::vector<double>> previous_partitions_;  // adaptive transform
+  quad::PartitionSet previous_partitions_;  // adaptive transform
   PatternField smoothed_;  ///< EMA of observed patterns (training targets)
 };
 

@@ -14,6 +14,8 @@
 
 namespace bd::core {
 
+struct SolverScratch;
+
 /// One compute-retarded-potentials task: evaluate the rp-integral at every
 /// node of the output grid for time step `step`.
 struct RpProblem {
@@ -23,6 +25,12 @@ struct RpProblem {
   double sub_width = 1.0;         ///< c·Δt — width of each radial subregion
   std::uint32_t num_subregions = 12;  ///< κ
   double tolerance = 1e-6;        ///< τ
+
+  /// Optional step-persistent scratch arena shared by the owning
+  /// Simulation across steps (and across solvers — solve() calls are
+  /// sequential). Null means the solver lazily creates and owns its own
+  /// arena; either way hot-path buffers are reused, not reallocated.
+  SolverScratch* scratch = nullptr;
 
   double r_max() const { return sub_width * num_subregions; }
   const beam::GridSpec& grid() const { return history->spec(); }

@@ -1,9 +1,11 @@
 #include "core/rp_kernels.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "beam/wake.hpp"
+#include "core/solver_scratch.hpp"
 #include "quad/adaptive.hpp"
 #include "quad/partition.hpp"
 #include "quad/simpson.hpp"
@@ -16,6 +18,8 @@ namespace bd::core {
 namespace {
 constexpr std::uint32_t kIntervalLoop = simt::site_id("core/rp/interval-loop");
 constexpr std::uint32_t kAcceptSite = simt::site_id("core/rp/accept");
+constexpr std::uint32_t kFallbackItems =
+    simt::site_id("core/rp/fallback-items");
 
 std::uint32_t block_dim_for(std::size_t max_cluster, std::uint32_t warp,
                             std::uint32_t max_threads) {
@@ -31,117 +35,187 @@ std::size_t subregion_of(const RpProblem& problem, double a, double b) {
   j = std::clamp<std::int64_t>(j, 0, problem.num_subregions - 1);
   return static_cast<std::size_t>(j);
 }
+
+/// Sum of inner capacities — a before/after pair detects reallocation by
+/// the kernel lambdas (push_back past a list's high-water mark).
+template <typename Inner>
+std::size_t inner_capacity(const std::vector<Inner>& lists) {
+  std::size_t total = 0;
+  for (const auto& inner : lists) total += inner.capacity();
+  return total;
+}
 }  // namespace
 
 RpKernelOutput run_compute_rp_integral(const simt::DeviceSpec& device,
-                                       const RpKernelInput& input) {
-  BD_CHECK(input.problem && input.clusters);
+                                       const RpKernelInput& input,
+                                       SolverScratch& scratch) {
+  BD_CHECK(input.problem && input.clusters && input.partitions);
   const RpProblem& problem = *input.problem;
   const ClusterAssignment& clusters = *input.clusters;
   if (input.source == PartitionSource::kSharedPerCluster) {
-    BD_CHECK(input.shared_partitions &&
-             input.shared_partitions->size() == clusters.members.size());
+    BD_CHECK(input.partitions->entries() == clusters.members.size());
   } else {
-    BD_CHECK(input.point_partitions &&
-             input.point_partitions->size() == problem.num_points());
+    BD_CHECK(input.partitions->entries() == problem.num_points());
   }
 
   const std::size_t num_points = problem.num_points();
+  const std::size_t num_blocks = clusters.members.size();
   RpKernelOutput out;
   out.integral.assign(num_points, 0.0);
   out.error.assign(num_points, 0.0);
   out.contributions = PatternField(num_points, problem.num_subregions);
 
   namespace telemetry = util::telemetry;
-  telemetry::TraceSpan span("rp.compute_integral", "core");
-  span.arg("clusters", static_cast<std::uint64_t>(clusters.members.size()));
-  span.arg("points", static_cast<std::uint64_t>(num_points));
-  // Per-cluster sizes feed the balance histogram every solver shares.
-  for (const auto& members : clusters.members) {
-    telemetry::histogram_record("rp.cluster_size",
-                                static_cast<double>(members.size()));
-  }
+  {
+    telemetry::TraceSpan span("rp.compute_integral", "core");
+    span.arg("clusters", static_cast<std::uint64_t>(num_blocks));
+    span.arg("points", static_cast<std::uint64_t>(num_points));
 
-  const std::uint32_t block_dim = block_dim_for(
-      clusters.max_cluster_size, device.warp_size, device.max_threads_per_block);
-  BD_CHECK_MSG(clusters.max_cluster_size <= block_dim,
-               "cluster larger than a thread block ("
-                   << clusters.max_cluster_size << " > " << block_dim << ")");
+    const std::uint32_t block_dim =
+        block_dim_for(clusters.max_cluster_size, device.warp_size,
+                      device.max_threads_per_block);
+    BD_CHECK_MSG(clusters.max_cluster_size <= block_dim,
+                 "cluster larger than a thread block ("
+                     << clusters.max_cluster_size << " > " << block_dim
+                     << ")");
 
-  simt::LaunchConfig launch;
-  launch.num_blocks = static_cast<std::uint32_t>(clusters.members.size());
-  launch.threads_per_block = block_dim;
+    simt::LaunchConfig launch;
+    launch.num_blocks = static_cast<std::uint32_t>(num_blocks);
+    launch.threads_per_block = block_dim;
 
-  // Per-block failure lists. The executor may run lanes from different
-  // blocks concurrently but runs each block's lanes serially on one thread
-  // (see executor.hpp), so per-block accumulators are race-free. Writes to
-  // out.integral/out.error/contributions are per-point, and every point
-  // belongs to exactly one cluster (= block), so those stay per-block too.
-  std::vector<std::vector<FailedInterval>> failed_per_block(
-      clusters.members.size());
-  std::vector<std::uint64_t> intervals_per_block(clusters.members.size(), 0);
-
-  auto kernel = [&](const simt::ThreadCtx& ctx, simt::LaneProbe& probe) {
-    const auto& members = clusters.members[ctx.block_id];
-    if (ctx.thread_id >= members.size()) {
-      probe.loop_trip(kIntervalLoop, 0);  // resident but idle lane
-      return;
-    }
-    const std::uint32_t point = members[ctx.thread_id];
-    double x = 0.0, y = 0.0;
-    problem.point_coords(point, x, y);
-    const beam::WakeIntegrand integrand(*problem.history, *problem.model, x,
-                                        y, problem.step, problem.sub_width);
-
-    const std::vector<double>& partition =
-        input.source == PartitionSource::kSharedPerCluster
-            ? (*input.shared_partitions)[ctx.block_id]
-            : (*input.point_partitions)[point];
-    BD_DCHECK(quad::is_valid_partition(partition));
-
-    const std::size_t intervals = partition.size() - 1;
-    probe.loop_trip(kIntervalLoop, intervals);
-    intervals_per_block[ctx.block_id] += intervals;
-
-    auto contrib = out.contributions.at(point);
-    for (std::size_t i = 0; i < intervals; ++i) {
-      const double a = partition[i];
-      const double b = partition[i + 1];
-      const quad::QuadEstimate est =
-          quad::simpson_estimate(integrand, a, b, probe);
-      const double tau_local = local_tolerance(problem, a, b);
-      const bool passed = est.error <= tau_local;
-      probe.branch(kAcceptSite, passed);
-      if (passed) {
-        out.integral[point] += est.integral;
-        out.error[point] += est.error;
-        // Report the *required* refinement of this interval, not the used
-        // one: Simpson error scales ~h⁴ relative to the width-proportional
-        // tolerance, so (err/τ_local)^(1/4) is the factor by which the
-        // interval should shrink (<1 = can coarsen). Clamped for stability;
-        // this makes the true requirement a fixed point of the
-        // observe→learn→predict loop instead of ratcheting finer.
-        const double ratio = est.error / tau_local;
-        const double factor =
-            std::clamp(std::pow(ratio, 0.25), 0.125, 2.0);
-        contrib[subregion_of(problem, a, b)] += factor;
-      } else {
-        failed_per_block[ctx.block_id].push_back(
-            FailedInterval{point, a, b});
+    // Per-block failure lists. The executor may run lanes from different
+    // blocks concurrently but runs each block's lanes serially on one
+    // thread (see executor.hpp), so per-block accumulators are race-free.
+    // Writes to out.integral/out.error/contributions are per-point, and
+    // every point belongs to exactly one cluster (= block), so those stay
+    // per-block too.
+    scratch.acquire_nested(scratch.failed_per_block, num_blocks);
+    // Top every list up to the global failure high-water mark (see
+    // SolverScratch::failed_watermark). The top-up allocates, so it books
+    // a grow; it stops firing once all capacities meet the watermark.
+    {
+      bool topped_up = false;
+      for (auto& list : scratch.failed_per_block) {
+        list.clear();
+        if (list.capacity() < scratch.failed_watermark) {
+          list.reserve(scratch.failed_watermark);
+          topped_up = true;
+        }
       }
+      if (topped_up) scratch.note_capacity(true);
     }
-  };
+    auto intervals_per_block =
+        scratch.acquire_fill(scratch.intervals_per_block, num_blocks,
+                             std::uint64_t{0});
+    auto evals_per_block = scratch.acquire_fill(
+        scratch.evals_per_block, num_blocks, std::uint64_t{0});
+    auto saved_per_block = scratch.acquire_fill(
+        scratch.saved_per_block, num_blocks, std::uint64_t{0});
+    const std::size_t failed_cap_before =
+        inner_capacity(scratch.failed_per_block);
 
-  out.metrics = simt::launch(device, launch, kernel);
+    auto kernel = [&](const simt::ThreadCtx& ctx, simt::LaneProbe& probe) {
+      const auto& members = clusters.members[ctx.block_id];
+      if (ctx.thread_id >= members.size()) {
+        probe.loop_trip(kIntervalLoop, 0);  // resident but idle lane
+        return;
+      }
+      const std::uint32_t point = members[ctx.thread_id];
+      double x = 0.0, y = 0.0;
+      problem.point_coords(point, x, y);
+      const beam::WakeIntegrand integrand(*problem.history, *problem.model,
+                                          x, y, problem.step,
+                                          problem.sub_width);
 
-  for (std::size_t b = 0; b < failed_per_block.size(); ++b) {
-    out.failed.insert(out.failed.end(), failed_per_block[b].begin(),
-                      failed_per_block[b].end());
-    out.intervals += intervals_per_block[b];
+      const std::span<const double> partition =
+          input.source == PartitionSource::kSharedPerCluster
+              ? input.partitions->at(ctx.block_id)
+              : input.partitions->at(point);
+      BD_DCHECK(quad::is_valid_partition(partition));
+
+      const std::size_t intervals = partition.size() - 1;
+      probe.loop_trip(kIntervalLoop, intervals);
+      intervals_per_block[ctx.block_id] += intervals;
+
+      auto contrib = out.contributions.at(point);
+      auto& fail_list = scratch.failed_per_block[ctx.block_id];
+      const std::uint64_t evals = quad::simpson_sweep(
+          integrand, partition, probe,
+          [&](std::size_t, double a, double b, const quad::QuadEstimate& est,
+              const quad::SimpsonSamples& samples) {
+            const double tau_local = local_tolerance(problem, a, b);
+            const bool passed = est.error <= tau_local;
+            probe.branch(kAcceptSite, passed);
+            if (passed) {
+              out.integral[point] += est.integral;
+              out.error[point] += est.error;
+              // Report the *required* refinement of this interval, not the
+              // used one: Simpson error scales ~h⁴ relative to the
+              // width-proportional tolerance, so (err/τ_local)^(1/4) is the
+              // factor by which the interval should shrink (<1 = can
+              // coarsen). Clamped for stability; this makes the true
+              // requirement a fixed point of the observe→learn→predict
+              // loop instead of ratcheting finer.
+              const double ratio = est.error / tau_local;
+              const double factor =
+                  std::clamp(std::pow(ratio, 0.25), 0.125, 2.0);
+              contrib[subregion_of(problem, a, b)] += factor;
+            } else {
+              fail_list.push_back(FailedInterval{point, a, b, samples});
+            }
+          });
+      evals_per_block[ctx.block_id] += evals;
+      // The sweep shares one sample per interior breakpoint: the naive
+      // per-interval loop would have paid 5·n evaluations.
+      saved_per_block[ctx.block_id] +=
+          5 * static_cast<std::uint64_t>(intervals) - evals;
+    };
+
+    out.metrics = simt::launch(device, launch, kernel);
+
+    if (inner_capacity(scratch.failed_per_block) > failed_cap_before) {
+      scratch.note_capacity(true);
+    }
+    // Next power of two above 2x the worst list ever seen: the learner's
+    // slow convergence drifts per-block failure counts by a percent or so
+    // per step, and a watermark that tracked the drift exactly would
+    // re-trigger a round of top-ups on every new record. Quantized, the
+    // watermark moves only when demand doubles.
+    for (const auto& list : scratch.failed_per_block) {
+      scratch.failed_watermark = std::max(
+          scratch.failed_watermark, std::bit_ceil(2 * list.size()));
+    }
+
+    std::size_t total_failed = 0;
+    for (const auto& list : scratch.failed_per_block) {
+      total_failed += list.size();
+    }
+    auto failed = scratch.acquire(scratch.failed, total_failed);
+    std::size_t cursor = 0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const auto& list = scratch.failed_per_block[b];
+      std::copy(list.begin(), list.end(), failed.begin() + cursor);
+      cursor += list.size();
+      out.intervals += intervals_per_block[b];
+      out.evaluations += evals_per_block[b];
+      out.evaluations_saved += saved_per_block[b];
+    }
+    out.failed = failed;
+    span.arg("intervals", out.intervals);
+    span.arg("failed", static_cast<std::uint64_t>(total_failed));
   }
-  span.arg("intervals", out.intervals);
-  span.arg("failed", static_cast<std::uint64_t>(out.failed.size()));
-  telemetry::counter_add("rp.kernel_intervals", out.intervals);
+
+  // Telemetry outside the traced hot section; the cluster-balance
+  // histogram loop is skipped entirely when metrics are off.
+  if (telemetry::metrics_enabled()) {
+    for (const auto& members : clusters.members) {
+      telemetry::histogram_record("rp.cluster_size",
+                                  static_cast<double>(members.size()));
+    }
+    telemetry::counter_add("rp.kernel_intervals", out.intervals);
+    telemetry::counter_add("rp.kernel_evaluations", out.evaluations);
+    telemetry::counter_add("rp.evals_saved", out.evaluations_saved);
+  }
   return out;
 }
 
@@ -150,7 +224,8 @@ FallbackOutput run_adaptive_fallback(const simt::DeviceSpec& device,
                                      std::span<const FailedInterval> failed,
                                      std::vector<double>& integral,
                                      std::vector<double>& error,
-                                     PatternField& contributions) {
+                                     PatternField& contributions,
+                                     SolverScratch& scratch) {
   FallbackOutput out;
   if (failed.empty()) return out;
   namespace telemetry = util::telemetry;
@@ -163,68 +238,129 @@ FallbackOutput run_adaptive_fallback(const simt::DeviceSpec& device,
   BD_CHECK(error.size() == problem.num_points());
   BD_CHECK(contributions.points() == problem.num_points());
 
+  // Group failed intervals into point-contiguous runs. Kernel 1 emits a
+  // point's failures contiguously (one lane per point, lanes serial per
+  // block), so a run is all of a point's items and each group constructs
+  // its integrand exactly once. An arbitrary caller-built list merely
+  // splits a point across groups — still correct, just fewer cache hits.
+  auto offsets = scratch.acquire(scratch.group_offsets, failed.size() + 1);
+  std::size_t num_groups = 0;
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    if (i == 0 || failed[i].point != failed[i - 1].point) {
+      offsets[num_groups++] = i;
+    }
+  }
+  offsets[num_groups] = failed.size();
+  out.integrand_cache_hits = failed.size() - num_groups;
+
   simt::LaunchConfig launch;
   launch.threads_per_block = 128;
   launch.num_blocks = static_cast<std::uint32_t>(
-      (failed.size() + launch.threads_per_block - 1) /
+      (num_groups + launch.threads_per_block - 1) /
       launch.threads_per_block);
 
-  std::vector<std::uint64_t> evals_per_item(failed.size(), 0);
-  std::vector<std::uint8_t> non_converged(failed.size(), 0);
-  out.intervals_per_item.assign(failed.size(), 0);
+  auto fb_integral = scratch.acquire(scratch.fb_integral, failed.size());
+  auto fb_error = scratch.acquire(scratch.fb_error, failed.size());
+  auto fb_evals = scratch.acquire(scratch.fb_evals, failed.size());
+  auto fb_saved = scratch.acquire(scratch.fb_saved, failed.size());
+  auto fb_non_converged =
+      scratch.acquire(scratch.fb_non_converged, failed.size());
+  auto fb_intervals = scratch.acquire(scratch.fb_intervals, failed.size());
+  auto fb_counts = scratch.acquire_fill(
+      scratch.fb_counts, failed.size() * problem.num_subregions,
+      std::uint32_t{0});
+  scratch.acquire_nested(scratch.fb_stacks, launch.num_blocks);
+  // Same global-watermark top-up as the kernel-1 failure lists: worklist
+  // depth is a property of the workload, not of which block runs it.
+  {
+    bool topped_up = false;
+    for (auto& stack : scratch.fb_stacks) {
+      if (stack.capacity() < scratch.stack_watermark) {
+        stack.reserve(scratch.stack_watermark);
+        topped_up = true;
+      }
+    }
+    if (topped_up) scratch.note_capacity(true);
+  }
+  const std::size_t stack_cap_before = inner_capacity(scratch.fb_stacks);
+
+  const quad::AdaptiveOptions options{};
 
   // Distinct items may share a point, and the executor runs lanes from
   // different blocks concurrently — so the kernel only writes per-item
-  // slots (one lane per item); the read-modify-write into the per-point
-  // arrays happens in the deterministic serial reduction below. (A CUDA
-  // port would use atomics instead.)
-  std::vector<double> integral_per_item(failed.size(), 0.0);
-  std::vector<double> error_per_item(failed.size(), 0.0);
-  std::vector<std::vector<std::uint32_t>> counts_per_item(failed.size());
-
+  // slots (one lane per group of items); the read-modify-write into the
+  // per-point arrays happens in the deterministic serial reduction below.
+  // (A CUDA port would use atomics instead.)
   auto kernel = [&](const simt::ThreadCtx& ctx, simt::LaneProbe& probe) {
-    if (ctx.global_id >= failed.size()) {
-      probe.loop_trip(simt::site_id("quad/adaptive/worklist"), 0);
+    if (ctx.global_id >= num_groups) {
+      probe.loop_trip(kFallbackItems, 0);
       return;
     }
-    const FailedInterval& item = failed[ctx.global_id];
+    const std::size_t begin = offsets[ctx.global_id];
+    const std::size_t end = offsets[ctx.global_id + 1];
+    const std::uint32_t point = failed[begin].point;
     double x = 0.0, y = 0.0;
-    problem.point_coords(item.point, x, y);
+    problem.point_coords(point, x, y);
     const beam::WakeIntegrand integrand(*problem.history, *problem.model, x,
                                         y, problem.step, problem.sub_width);
-    const double tol = local_tolerance(problem, item.a, item.b);
-    const quad::AdaptiveResult result =
-        quad::adaptive_simpson(integrand, item.a, item.b, tol, probe);
+    probe.loop_trip(kFallbackItems, end - begin);
+    auto& stack = scratch.fb_stacks[ctx.block_id];
 
-    integral_per_item[ctx.global_id] = result.integral;
-    error_per_item[ctx.global_id] = result.error;
-    counts_per_item[ctx.global_id] = quad::count_per_subregion(
-        result.breakpoints, problem.sub_width, problem.num_subregions);
-    evals_per_item[ctx.global_id] = result.evaluations;
-    non_converged[ctx.global_id] = result.converged ? 0 : 1;
-    out.intervals_per_item[ctx.global_id] =
-        static_cast<std::uint32_t>(result.breakpoints.size() - 1);
+    for (std::size_t i = begin; i < end; ++i) {
+      const FailedInterval& item = failed[i];
+      const double tol = local_tolerance(problem, item.a, item.b);
+      std::uint32_t* counts =
+          fb_counts.data() + i * problem.num_subregions;
+      const quad::AdaptiveOutcome result = quad::adaptive_simpson_seeded(
+          integrand, item.a, item.b, tol, item.samples, probe, options,
+          stack,
+          [&](const quad::AdaptiveWorkItem& leaf, const quad::QuadEstimate&) {
+            ++counts[subregion_of(problem, leaf.a, leaf.b)];
+          });
+
+      fb_integral[i] = result.integral;
+      fb_error[i] = result.error;
+      fb_evals[i] = result.evaluations;
+      // The seeded root reused the 5 samples kernel 1 already paid for.
+      fb_saved[i] = result.evaluations_saved + 5;
+      fb_non_converged[i] = result.converged ? 0 : 1;
+      fb_intervals[i] = static_cast<std::uint32_t>(result.intervals);
+    }
   };
 
   out.metrics = simt::launch(device, launch, kernel);
 
+  if (inner_capacity(scratch.fb_stacks) > stack_cap_before) {
+    scratch.note_capacity(true);
+  }
+  for (const auto& stack : scratch.fb_stacks) {
+    scratch.stack_watermark =
+        std::max(scratch.stack_watermark, stack.capacity());
+  }
+
   // Serial reduction in item order: deterministic for any thread count.
   for (std::size_t i = 0; i < failed.size(); ++i) {
     const FailedInterval& item = failed[i];
-    integral[item.point] += integral_per_item[i];
-    error[item.point] += error_per_item[i];
+    integral[item.point] += fb_integral[i];
+    error[item.point] += fb_error[i];
     auto contrib = contributions.at(item.point);
-    const std::vector<std::uint32_t>& counts = counts_per_item[i];
-    for (std::size_t j = 0; j < counts.size(); ++j) {
+    const std::uint32_t* counts =
+        fb_counts.data() + i * problem.num_subregions;
+    for (std::size_t j = 0; j < problem.num_subregions; ++j) {
       contrib[j] += static_cast<double>(counts[j]);
     }
-    out.evaluations += evals_per_item[i];
-    out.non_converged += non_converged[i];
+    out.evaluations += fb_evals[i];
+    out.evaluations_saved += fb_saved[i];
+    out.non_converged += fb_non_converged[i];
   }
+  out.intervals_per_item = fb_intervals;
   span.arg("evaluations", out.evaluations);
   span.arg("non_converged", out.non_converged);
   telemetry::counter_add("rp.fallback_evaluations", out.evaluations);
   telemetry::counter_add("rp.fallback_non_converged", out.non_converged);
+  telemetry::counter_add("rp.evals_saved", out.evaluations_saved);
+  telemetry::counter_add("rp.integrand_cache_hits",
+                         out.integrand_cache_hits);
   return out;
 }
 

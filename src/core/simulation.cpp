@@ -6,6 +6,7 @@
 
 #include "beam/force.hpp"
 #include "beam/push.hpp"
+#include "core/solver_scratch.hpp"
 #include "util/check.hpp"
 #include "util/faultinject.hpp"
 #include "util/log.hpp"
@@ -55,6 +56,7 @@ Simulation::Simulation(SimConfig config, std::unique_ptr<RpSolver> solver,
     : config_((config.validate(), std::move(config))),
       solver_(std::move(solver)),
       transverse_solver_(std::move(transverse_solver)),
+      scratch_(std::make_unique<SolverScratch>()),
       spec_(beam::make_centered_grid(config_.nx, config_.ny,
                                      config_.half_extent_x,
                                      config_.half_extent_y)),
@@ -70,6 +72,8 @@ Simulation::Simulation(SimConfig config, std::unique_ptr<RpSolver> solver,
   BD_CHECK_MSG(!config_.compute_transverse || transverse_solver_ != nullptr,
                "transverse solve requested without a transverse solver");
 }
+
+Simulation::~Simulation() = default;
 
 void Simulation::add_fallback_solver(std::unique_ptr<RpSolver> solver) {
   BD_CHECK_MSG(solver != nullptr, "fallback solver must not be null");
@@ -92,6 +96,7 @@ RpProblem Simulation::make_problem(const beam::WakeModel& model) const {
   problem.sub_width = config_.sub_width;
   problem.num_subregions = config_.num_subregions;
   problem.tolerance = config_.tolerance;
+  problem.scratch = scratch_.get();
   return problem;
 }
 

@@ -91,6 +91,7 @@ class Simulation {
   ///        (must be a distinct instance — solvers carry per-model state).
   Simulation(SimConfig config, std::unique_ptr<RpSolver> solver,
              std::unique_ptr<RpSolver> transverse_solver = nullptr);
+  ~Simulation();
 
   /// Sample the bunch, deposit it, and pre-fill the history ("the beam
   /// arrived in steady state"). Must be called once before step().
@@ -143,6 +144,9 @@ class Simulation {
   SimConfig config_;
   std::unique_ptr<RpSolver> solver_;
   std::unique_ptr<RpSolver> transverse_solver_;
+  /// Step-persistent solver scratch, shared by every solve of every
+  /// attached solver (solves are sequential) through RpProblem::scratch.
+  std::unique_ptr<SolverScratch> scratch_;
   std::vector<std::unique_ptr<RpSolver>> fallback_solvers_;
   beam::GridSpec spec_;
   beam::ParticleSet particles_;

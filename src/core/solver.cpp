@@ -2,14 +2,23 @@
 
 #include <algorithm>
 
+#include "core/solver_scratch.hpp"
 #include "util/check.hpp"
 #include "util/serialize.hpp"
 
 namespace bd::core {
 
+RpSolver::~RpSolver() { delete owned_scratch_; }
+
 void RpSolver::save_state(util::BinaryWriter& /*out*/) const {}
 
 void RpSolver::load_state(util::BinaryReader& /*in*/) {}
+
+SolverScratch& RpSolver::scratch_for(const RpProblem& problem) {
+  if (problem.scratch != nullptr) return *problem.scratch;
+  if (owned_scratch_ == nullptr) owned_scratch_ = new SolverScratch;
+  return *owned_scratch_;
+}
 
 }  // namespace bd::core
 

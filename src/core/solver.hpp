@@ -17,10 +17,15 @@ class BinaryReader;
 
 namespace bd::core {
 
+struct SolverScratch;
+
 /// Stateful rp-solver.
 class RpSolver {
  public:
-  virtual ~RpSolver() = default;
+  RpSolver() = default;
+  RpSolver(const RpSolver&) = delete;
+  RpSolver& operator=(const RpSolver&) = delete;
+  virtual ~RpSolver();
 
   /// Evaluate the rp-integral at every grid node for the problem's step.
   /// Steps must be solved in increasing order (state carries forward).
@@ -41,6 +46,18 @@ class RpSolver {
 
   /// Restore state written by save_state of the same solver type.
   virtual void load_state(util::BinaryReader& in);
+
+ protected:
+  /// The scratch arena for this solve: the problem's (Simulation-owned)
+  /// arena when set, else a lazily created solver-owned one. Contents are
+  /// unspecified between calls; capacity persists.
+  SolverScratch& scratch_for(const RpProblem& problem);
+
+ private:
+  /// Raw pointer (not unique_ptr) so derived classes' implicit inline
+  /// destructors never need SolverScratch complete; deleted by the
+  /// out-of-line ~RpSolver.
+  SolverScratch* owned_scratch_ = nullptr;
 };
 
 /// Shared helpers for solver implementations.

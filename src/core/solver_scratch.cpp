@@ -1,0 +1,21 @@
+#include "core/solver_scratch.hpp"
+
+#include "util/telemetry.hpp"
+
+namespace bd::core {
+
+void SolverScratch::flush_metrics() {
+  absorb(point_partitions);
+  absorb(merged);
+  namespace telemetry = util::telemetry;
+  if (grow_events > 0) {
+    telemetry::counter_add("rp.scratch_grows", grow_events);
+  }
+  if (reuse_events > 0) {
+    telemetry::counter_add("rp.scratch_reuses", reuse_events);
+  }
+  grow_events = 0;
+  reuse_events = 0;
+}
+
+}  // namespace bd::core

@@ -1,24 +1,10 @@
 #include "quad/adaptive.hpp"
 
 #include <algorithm>
-#include <cmath>
 
-#include "quad/simpson.hpp"
 #include "util/check.hpp"
 
 namespace bd::quad {
-
-namespace {
-constexpr std::uint32_t kLoopSite = simt::site_id("quad/adaptive/worklist");
-constexpr std::uint32_t kBranchSite = simt::site_id("quad/adaptive/accept");
-
-struct WorkItem {
-  double a;
-  double b;
-  double tol;
-  int depth;
-};
-}  // namespace
 
 AdaptiveResult adaptive_simpson(const RadialIntegrand& f, double a, double b,
                                 double tol, simt::LaneProbe& probe,
@@ -31,47 +17,31 @@ AdaptiveResult adaptive_simpson(const RadialIntegrand& f, double a, double b,
   }
   BD_CHECK_MSG(a < b, "interval must be ordered");
 
-  std::vector<WorkItem> stack;
-  stack.push_back(WorkItem{a, b, tol, 0});
+  // Pay for the root's five samples up front (same points, same order as
+  // the historical per-item simpson_estimate), then run the memoized
+  // driver seeded with them. Since the wrapper paid full price, the root
+  // books no saved evaluations.
+  const double m = 0.5 * (a + b);
+  SimpsonSamples root;
+  root.fa = f.eval(a, probe);
+  root.fm = f.eval(m, probe);
+  root.fb = f.eval(b, probe);
+  root.fl = f.eval(0.5 * (a + m), probe);
+  root.fr = f.eval(0.5 * (m + b), probe);
+
+  std::vector<AdaptiveWorkItem> stack;
   std::vector<double> interior;  // accepted breakpoints (excluding a, b)
+  const AdaptiveOutcome out = adaptive_simpson_seeded(
+      f, a, b, tol, root, probe, options, stack,
+      [&](const AdaptiveWorkItem& item, const QuadEstimate&) {
+        if (item.a != a) interior.push_back(item.a);
+      });
 
-  std::uint64_t trips = 0;
-  std::uint64_t intervals_created = 1;
-
-  while (!stack.empty()) {
-    ++trips;
-    const WorkItem item = stack.back();
-    stack.pop_back();
-
-    const QuadEstimate est = simpson_estimate(f, item.a, item.b, probe);
-    result.evaluations += est.evaluations;
-
-    // A non-finite estimate can never converge — bisecting a NaN integrand
-    // yields NaN on both halves — so refining it would only burn the whole
-    // interval budget (and, via the breakpoint list, unbounded memory when
-    // a poisoned grid taints every point's integrand).
-    const bool poisoned =
-        !std::isfinite(est.integral) || !std::isfinite(est.error);
-    const bool accept = poisoned || est.error <= item.tol ||
-                        item.depth >= options.max_depth ||
-                        intervals_created >= options.max_intervals;
-    probe.branch(kBranchSite, accept);
-
-    if (accept) {
-      if (poisoned || est.error > item.tol) result.converged = false;
-      result.integral += est.integral;
-      result.error += est.error;
-      if (item.a != a) interior.push_back(item.a);
-    } else {
-      const double m = 0.5 * (item.a + item.b);
-      // LIFO order keeps the scan depth-first, left to right.
-      stack.push_back(WorkItem{m, item.b, 0.5 * item.tol, item.depth + 1});
-      stack.push_back(WorkItem{item.a, m, 0.5 * item.tol, item.depth + 1});
-      ++intervals_created;
-      probe.count_flops(4);
-    }
-  }
-  probe.loop_trip(kLoopSite, trips);
+  result.integral = out.integral;
+  result.error = out.error;
+  result.evaluations = 5 + out.evaluations;
+  result.evaluations_saved = out.evaluations_saved;
+  result.converged = out.converged;
 
   std::sort(interior.begin(), interior.end());
   result.breakpoints.reserve(interior.size() + 2);

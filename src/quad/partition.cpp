@@ -24,6 +24,23 @@ std::vector<double> merge_partitions(const std::vector<double>& a,
   return unique;
 }
 
+void merge_partitions_into(std::span<const double> a,
+                           std::span<const double> b,
+                           std::vector<double>& out, double eps) {
+  out.clear();
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    // Stable like std::merge: on a tie, take from `a` first.
+    double x;
+    if (ib >= b.size() || (ia < a.size() && !(b[ib] < a[ia]))) {
+      x = a[ia++];
+    } else {
+      x = b[ib++];
+    }
+    if (out.empty() || x - out.back() > eps) out.push_back(x);
+  }
+}
+
 std::vector<std::uint32_t> count_per_subregion(
     const std::vector<double>& breakpoints, double sub_width,
     std::uint32_t num_subregions) {
@@ -111,7 +128,7 @@ std::vector<double> clip_partition(const std::vector<double>& breakpoints,
   return out;
 }
 
-bool is_valid_partition(const std::vector<double>& breakpoints) {
+bool is_valid_partition(std::span<const double> breakpoints) {
   if (breakpoints.size() < 2) return false;
   for (std::size_t i = 0; i + 1 < breakpoints.size(); ++i) {
     if (!(breakpoints[i] < breakpoints[i + 1])) return false;

@@ -9,6 +9,7 @@
 /// partitions from (predicted) patterns with the transforms of §III-C2.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace bd::quad {
@@ -18,6 +19,14 @@ namespace bd::quad {
 std::vector<double> merge_partitions(const std::vector<double>& a,
                                      const std::vector<double>& b,
                                      double eps = 1e-12);
+
+/// Allocation-reusing MERGE-LISTS: writes the sorted-unique merge of `a`
+/// and `b` into `out` (cleared first, capacity reused). Produces exactly
+/// the same breakpoints as `merge_partitions`. `out` must not alias the
+/// inputs.
+void merge_partitions_into(std::span<const double> a,
+                           std::span<const double> b,
+                           std::vector<double>& out, double eps = 1e-12);
 
 /// Count partition intervals per subregion: subregion j covers
 /// [j·sub_width, (j+1)·sub_width). An interval is attributed to the
@@ -50,6 +59,6 @@ std::vector<double> clip_partition(const std::vector<double>& breakpoints,
                                    double lo, double hi);
 
 /// True if breakpoints are strictly increasing.
-bool is_valid_partition(const std::vector<double>& breakpoints);
+bool is_valid_partition(std::span<const double> breakpoints);
 
 }  // namespace bd::quad

@@ -14,25 +14,49 @@ double simpson_value(const RadialIntegrand& f, double a, double b,
   return value;
 }
 
-QuadEstimate simpson_estimate(const RadialIntegrand& f, double a, double b,
-                              simt::LaneProbe& probe) {
-  const double m = 0.5 * (a + b);
-  const double fa = f.eval(a, probe);
-  const double fm = f.eval(m, probe);
-  const double fb = f.eval(b, probe);
-  const double fl = f.eval(0.5 * (a + m), probe);
-  const double fr = f.eval(0.5 * (m + b), probe);
-
+QuadEstimate simpson_combine(double a, double b, const SimpsonSamples& s,
+                             simt::LaneProbe& probe) {
   const double h = b - a;
-  const double coarse = h / 6.0 * (fa + 4.0 * fm + fb);
+  const double coarse = h / 6.0 * (s.fa + 4.0 * s.fm + s.fb);
   const double fine =
-      h / 12.0 * (fa + 4.0 * fl + 2.0 * fm + 4.0 * fr + fb);
+      h / 12.0 * (s.fa + 4.0 * s.fl + 2.0 * s.fm + 4.0 * s.fr + s.fb);
   probe.count_flops(18);
 
   QuadEstimate est;
   est.error = std::abs(fine - coarse) / 15.0;
   est.integral = fine + (fine - coarse) / 15.0;
+  est.evaluations = 0;
+  return est;
+}
+
+QuadEstimate simpson_estimate(const RadialIntegrand& f, double a, double b,
+                              simt::LaneProbe& probe) {
+  const double m = 0.5 * (a + b);
+  SimpsonSamples s;
+  s.fa = f.eval(a, probe);
+  s.fm = f.eval(m, probe);
+  s.fb = f.eval(b, probe);
+  s.fl = f.eval(0.5 * (a + m), probe);
+  s.fr = f.eval(0.5 * (m + b), probe);
+
+  QuadEstimate est = simpson_combine(a, b, s, probe);
   est.evaluations = 5;
+  return est;
+}
+
+QuadEstimate simpson_estimate_memo(const RadialIntegrand& f, double a,
+                                   double b, double fa, double fm, double fb,
+                                   simt::LaneProbe& probe,
+                                   SimpsonSamples& out) {
+  const double m = 0.5 * (a + b);
+  out.fa = fa;
+  out.fm = fm;
+  out.fb = fb;
+  out.fl = f.eval(0.5 * (a + m), probe);
+  out.fr = f.eval(0.5 * (m + b), probe);
+
+  QuadEstimate est = simpson_combine(a, b, out, probe);
+  est.evaluations = 2;
   return est;
 }
 

@@ -260,13 +260,34 @@ std::string MetricsRegistry::summary_csv() const {
   return os.str();
 }
 
+namespace {
+std::atomic<bool>& metrics_flag() {
+  static std::atomic<bool> enabled{[] {
+    const char* env = std::getenv("BD_METRICS");
+    return !(env && env[0] == '0' && env[1] == '\0');
+  }()};
+  return enabled;
+}
+}  // namespace
+
+bool metrics_enabled() {
+  return metrics_flag().load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) {
+  metrics_flag().store(enabled, std::memory_order_relaxed);
+}
+
 void counter_add(std::string_view name, std::uint64_t delta) {
+  if (!metrics_enabled()) return;
   MetricsRegistry::global().counter_add(name, delta);
 }
 void gauge_set(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
   MetricsRegistry::global().gauge_set(name, value);
 }
 void histogram_record(std::string_view name, double value) {
+  if (!metrics_enabled()) return;
   MetricsRegistry::global().histogram_record(name, value);
 }
 

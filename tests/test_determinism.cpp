@@ -12,6 +12,7 @@
 #include "core/checkpoint.hpp"
 #include "core/predictive.hpp"
 #include "core/simulation.hpp"
+#include "core/solver_scratch.hpp"
 #include "simt/device.hpp"
 #include "simt/executor.hpp"
 #include "test_helpers.hpp"
@@ -210,6 +211,73 @@ TEST(Determinism, CheckpointRoundTripBitwiseIdentical) {
           << "step " << k << " entry " << i;
     }
   }
+}
+
+TEST(Determinism, ExternalScratchArenaDoesNotChangeResults) {
+  // The step-persistent SolverScratch is capacity-only state: handing the
+  // solver a Simulation-owned arena (problem.scratch) instead of letting
+  // it lazily create its own must not change a single bit of output.
+  const SolverRun owned = run_predictive();
+
+  testing::ProblemFixture& fixture = shared_fixture();
+  reset_history(fixture);
+  core::SolverScratch external;
+  fixture.problem.scratch = &external;
+  core::PredictiveSolver solver(simt::tesla_k40(), {});
+  core::SolveResult last;
+  for (int step = 0; step < 3; ++step) {
+    last = solver.solve(fixture.problem);
+    fixture.advance();
+  }
+  fixture.problem.scratch = nullptr;
+
+  expect_identical(owned.metrics, last.metrics);
+  EXPECT_EQ(owned.fallback_items, last.fallback_items);
+  EXPECT_EQ(owned.kernel_intervals, last.kernel_intervals);
+  ASSERT_EQ(owned.values.size(), last.values.data().size());
+  for (std::size_t i = 0; i < owned.values.size(); ++i) {
+    ASSERT_EQ(owned.values[i], last.values.data()[i]) << "point " << i;
+    ASSERT_EQ(owned.errors[i], last.errors.data()[i]) << "point " << i;
+  }
+}
+
+TEST(Determinism, ScratchStopsGrowingAfterWarmup) {
+  // The allocation-free steady-state claim: after a few steps every
+  // scratch acquire is a reuse (rp.scratch_grows stays silent), and a
+  // checkpoint/restore into the same Simulation keeps the warm capacity.
+  util::telemetry::MetricsRegistry& registry =
+      util::telemetry::MetricsRegistry::global();
+  core::SimConfig config;
+  config.particles = 4000;
+  config.nx = 16;
+  config.ny = 16;
+  config.tolerance = 1e-5;
+  config.rigid = false;
+
+  core::Simulation sim(
+      config, std::make_unique<core::PredictiveSolver>(simt::tesla_k40()));
+  sim.initialize();
+  sim.run(3);  // warm-up: bootstrap + first predictive steps grow buffers
+
+  registry.reset();
+  sim.run(3);
+  auto steady = registry.snapshot().counters;
+  EXPECT_EQ(steady.count("rp.scratch_grows"), 0u)
+      << "steady state grew scratch " << steady["rp.scratch_grows"]
+      << " times";
+  EXPECT_GT(steady["rp.scratch_reuses"], 0u);
+
+  // Checkpoint/restore reuses the Simulation's warm arena.
+  const std::string path = ::testing::TempDir() + "bd_scratch_ckpt.bin";
+  core::save_checkpoint(sim, path);
+  core::restore_checkpoint(sim, path);
+  std::remove(path.c_str());
+  registry.reset();
+  sim.run(2);
+  steady = registry.snapshot().counters;
+  EXPECT_EQ(steady.count("rp.scratch_grows"), 0u);
+  EXPECT_GT(steady["rp.scratch_reuses"], 0u);
+  registry.reset();
 }
 
 TEST(Determinism, TelemetryCaptureDoesNotPerturbMetrics) {

@@ -113,10 +113,13 @@ TEST(Partition, ClipNonOverlappingIsEmpty) {
 }
 
 TEST(Partition, IsValidPartitionChecksOrdering) {
-  EXPECT_TRUE(is_valid_partition({0.0, 1.0}));
-  EXPECT_FALSE(is_valid_partition({0.0}));
-  EXPECT_FALSE(is_valid_partition({0.0, 0.0}));
-  EXPECT_FALSE(is_valid_partition({1.0, 0.0}));
+  const auto valid = [](std::initializer_list<double> breaks) {
+    return is_valid_partition(std::vector<double>(breaks));
+  };
+  EXPECT_TRUE(valid({0.0, 1.0}));
+  EXPECT_FALSE(valid({0.0}));
+  EXPECT_FALSE(valid({0.0, 0.0}));
+  EXPECT_FALSE(valid({1.0, 0.0}));
 }
 
 // Property: for any counts vector, the generated partition is valid and

@@ -6,6 +6,7 @@
 
 #include "core/forecast.hpp"
 #include "core/rp_kernels.hpp"
+#include "core/solver_scratch.hpp"
 #include "simt/device.hpp"
 #include "test_helpers.hpp"
 #include "util/check.hpp"
@@ -15,6 +16,13 @@ namespace {
 
 using bd::testing::ProblemFixture;
 
+/// Shared scratch: kernel outputs (failed spans, intervals_per_item) point
+/// into it, so it must outlive each test's assertions.
+SolverScratch& test_scratch() {
+  static SolverScratch scratch;
+  return scratch;
+}
+
 RpKernelOutput run_with_uniform_counts(const ProblemFixture& fixture,
                                        double count,
                                        std::uint32_t block = 64) {
@@ -22,15 +30,17 @@ RpKernelOutput run_with_uniform_counts(const ProblemFixture& fixture,
   const std::vector<double> partition = pattern_to_partition(
       std::vector<double>(problem.num_subregions, count), problem.sub_width,
       problem.r_max(), 1.0);
-  std::vector<std::vector<double>> per_point(problem.num_points(), partition);
+  static quad::PartitionSet parts;    // keep alive across return
   static ClusterAssignment clusters;  // keep alive across return
+  parts.reset(problem.num_points());
+  parts.bind_all(parts.add_row(partition));
   clusters = chunk_clustering(problem.num_points(), block);
   RpKernelInput input;
   input.problem = &problem;
   input.clusters = &clusters;
   input.source = PartitionSource::kPerPoint;
-  input.point_partitions = &per_point;
-  return run_compute_rp_integral(simt::tesla_k40(), input);
+  input.partitions = &parts;
+  return run_compute_rp_integral(simt::tesla_k40(), input, test_scratch());
 }
 
 TEST(RpKernel, CoarsePartitionProducesFailures) {
@@ -52,9 +62,9 @@ TEST(RpKernel, FinePartitionMostlyPasses) {
 TEST(RpKernel, FallbackRestoresTolerance) {
   const ProblemFixture fixture(16, 1e-6);
   RpKernelOutput out = run_with_uniform_counts(fixture, 1.0);
-  const FallbackOutput fb =
-      run_adaptive_fallback(simt::tesla_k40(), fixture.problem, out.failed,
-                            out.integral, out.error, out.contributions);
+  const FallbackOutput fb = run_adaptive_fallback(
+      simt::tesla_k40(), fixture.problem, out.failed, out.integral, out.error,
+      out.contributions, test_scratch());
   EXPECT_EQ(fb.non_converged, 0u);
   // Compare against the analytic continuum force at a few interior nodes.
   const beam::GridSpec& spec = fixture.spec;
@@ -93,14 +103,15 @@ TEST(RpKernel, SharedPartitionUniformControlFlowWhenLanesAligned) {
       chunk_clustering(problem.num_points(), 64);
 
   auto run = [&](const ClusterAssignment& clusters) {
-    std::vector<std::vector<double>> shared(clusters.members.size(),
-                                            shared_partition);
+    quad::PartitionSet shared;
+    shared.reset(clusters.members.size());
+    shared.bind_all(shared.add_row(shared_partition));
     RpKernelInput input;
     input.problem = &problem;
     input.clusters = &clusters;
     input.source = PartitionSource::kSharedPerCluster;
-    input.shared_partitions = &shared;
-    return run_compute_rp_integral(simt::tesla_k40(), input);
+    input.partitions = &shared;
+    return run_compute_rp_integral(simt::tesla_k40(), input, test_scratch());
   };
   const RpKernelOutput good = run(aligned);
   const RpKernelOutput bad = run(row_major);
@@ -114,12 +125,13 @@ TEST(RpKernel, PerPointDivergenceLowersWarpEfficiency) {
   const RpProblem& problem = fixture.problem;
   // Give each point a workload depending on its index parity: adjacent
   // lanes differ strongly -> heavy divergence.
-  std::vector<std::vector<double>> per_point(problem.num_points());
+  quad::PartitionSet per_point;
+  per_point.reset(problem.num_points());
   for (std::size_t p = 0; p < problem.num_points(); ++p) {
     const double count = (p % 2 == 0) ? 1.0 : 16.0;
-    per_point[p] = pattern_to_partition(
-        std::vector<double>(problem.num_subregions, count),
-        problem.sub_width, problem.r_max(), 1.0);
+    per_point.bind(p, per_point.add_row(pattern_to_partition(
+                          std::vector<double>(problem.num_subregions, count),
+                          problem.sub_width, problem.r_max(), 1.0)));
   }
   const ClusterAssignment clusters =
       chunk_clustering(problem.num_points(), 64);
@@ -127,9 +139,9 @@ TEST(RpKernel, PerPointDivergenceLowersWarpEfficiency) {
   input.problem = &problem;
   input.clusters = &clusters;
   input.source = PartitionSource::kPerPoint;
-  input.point_partitions = &per_point;
+  input.partitions = &per_point;
   const RpKernelOutput out =
-      run_compute_rp_integral(simt::tesla_k40(), input);
+      run_compute_rp_integral(simt::tesla_k40(), input, test_scratch());
   EXPECT_LT(out.metrics.warp_execution_efficiency(), 0.75);
 }
 
@@ -150,8 +162,9 @@ TEST(RpKernel, FallbackEmptyIsNoOp) {
   std::vector<double> error(fixture.problem.num_points(), 0.0);
   PatternField contributions(fixture.problem.num_points(),
                              fixture.problem.num_subregions);
-  const FallbackOutput fb = run_adaptive_fallback(
-      simt::tesla_k40(), fixture.problem, {}, integral, error, contributions);
+  const FallbackOutput fb =
+      run_adaptive_fallback(simt::tesla_k40(), fixture.problem, {}, integral,
+                            error, contributions, test_scratch());
   EXPECT_EQ(fb.evaluations, 0u);
   EXPECT_EQ(fb.metrics.flops, 0u);
 }
@@ -168,8 +181,9 @@ TEST(RpKernel, InputValidation) {
   const ProblemFixture fixture(16, 1e-6);
   RpKernelInput input;
   input.problem = &fixture.problem;
-  EXPECT_THROW(run_compute_rp_integral(simt::tesla_k40(), input),
-               bd::CheckError);
+  EXPECT_THROW(
+      run_compute_rp_integral(simt::tesla_k40(), input, test_scratch()),
+      bd::CheckError);
 }
 
 }  // namespace

@@ -13,7 +13,13 @@
 # A docs stage checks docs consistency (tools/check_docs.sh): every
 # telemetry name documented in docs/METRICS.md, no dead markdown links.
 #
-# Usage: tools/ci.sh [tier1|tsan|asan|docs|all]   (default: all)
+# A perf-smoke stage runs bench_rp_eval against the checked-in baseline
+# (tools/perf_baseline_rp_eval.json). Eval counts are deterministic, so
+# the gate catches real regressions: > 2% more integrand evaluations than
+# the baseline, a solver saving < 25% vs the naive engine, or the scratch
+# arena allocating after warm-up on the rigid steady-state workload.
+#
+# Usage: tools/ci.sh [tier1|tsan|asan|docs|perf-smoke|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,12 +53,22 @@ docs() {
   tools/check_docs.sh
 }
 
+perf_smoke() {
+  echo "=== perf-smoke: bench_rp_eval vs checked-in baseline ==="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target bench_rp_eval
+  ./build/bench/bench_rp_eval \
+    --json=BENCH_rp_eval.json \
+    --check-baseline=tools/perf_baseline_rp_eval.json
+}
+
 case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
   asan) asan ;;
   docs) docs ;;
-  all) tier1; tsan; asan; docs ;;
-  *) echo "unknown stage: $stage (want tier1|tsan|asan|docs|all)" >&2; exit 2 ;;
+  perf-smoke) perf_smoke ;;
+  all) tier1; tsan; asan; docs; perf_smoke ;;
+  *) echo "unknown stage: $stage (want tier1|tsan|asan|docs|perf-smoke|all)" >&2; exit 2 ;;
 esac
 echo "CI ($stage) OK"
