@@ -160,7 +160,9 @@ int main(int argc, char** argv) {
   // --- phase 1: eval reduction on the default (evolving) bunch -------------
   std::printf(
       "rp evaluation engine — %lldx%lld grid, %lld particles, tau = %g\n\n",
-      args.get_int("grid"), args.get_int("grid"), args.get_int("particles"),
+      static_cast<long long>(args.get_int("grid")),
+      static_cast<long long>(args.get_int("grid")),
+      static_cast<long long>(args.get_int("particles")),
       args.get_double("tolerance"));
   std::printf("phase 1: integrand evaluations (default bunch, %zu+%zu steps)\n",
               warmup, measure);
@@ -216,7 +218,8 @@ int main(int argc, char** argv) {
                "  \"config\": {\"grid\": %lld, \"particles\": %lld, "
                "\"tolerance\": %g, \"warmup\": %zu, \"measure\": %zu, "
                "\"steady_warmup\": %zu, \"steady_measure\": %zu},\n",
-               args.get_int("grid"), args.get_int("particles"),
+               static_cast<long long>(args.get_int("grid")),
+               static_cast<long long>(args.get_int("particles")),
                args.get_double("tolerance"), warmup, measure, steady_warmup,
                steady_measure);
   std::fprintf(json, "  \"solvers\": [\n");

@@ -35,7 +35,7 @@ core::SolveResult HeuristicSolver::solve(const core::RpProblem& problem) {
   const std::size_t num_points = problem.num_points();
   const bool bootstrap = previous_partitions_.entries() != num_points;
 
-  telemetry::TraceSession& session = telemetry::TraceSession::global();
+  telemetry::TraceSession& session = telemetry::current_trace();
 
   // Heuristic 1: start from last step's partitions. The carried
   // PartitionSet is the kernel's input directly — no per-step copy.

@@ -56,6 +56,21 @@ class GridHistory {
   const double* row_ptr(std::int64_t step, MomentChannel channel,
                         std::uint32_t ix, std::uint32_t iy) const;
 
+  /// Stable "device" address of a buffer location for the SIMT cache
+  /// replay: a fixed line-aligned base plus the element's offset within
+  /// the ring. Identically-configured histories map a location to the
+  /// same address no matter where the host allocator (or which thread's
+  /// arena) placed the buffer — so modeled coalescing/cache metrics are
+  /// bit-identical across Simulation objects, which the fleet's
+  /// fleet-vs-solo determinism contract relies on.
+  const void* probe_address(const double* element) const {
+    constexpr std::uintptr_t kDeviceBase = 0x4000'0000;  // 128B-aligned
+    return reinterpret_cast<const void*>(
+        kDeviceBase +
+        sizeof(double) *
+            static_cast<std::uintptr_t>(element - buffer_.data()));
+  }
+
   /// Node value accessor (bounds-checked in debug builds).
   double value(std::int64_t step, MomentChannel channel, std::uint32_t ix,
                std::uint32_t iy) const;

@@ -20,7 +20,7 @@ inline double sample_plane(const GridHistory& history, MomentChannel channel,
     const double* row =
         history.row_ptr(step, channel, ix - 1,
                         static_cast<std::uint32_t>(iy + dy));
-    probe.load(kRowSite, row, 3 * sizeof(double));
+    probe.load(kRowSite, history.probe_address(row), 3 * sizeof(double));
     const double wrow = wy[dy + 1];
     acc += wrow * (wx[0] * row[0] + wx[1] * row[1] + wx[2] * row[2]);
   }

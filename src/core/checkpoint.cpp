@@ -1,6 +1,7 @@
 #include "core/checkpoint.hpp"
 
 #include "util/check.hpp"
+#include "util/faultinject.hpp"
 #include "util/serialize.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
@@ -92,6 +93,11 @@ util::Rng::State read_rng(util::BinaryReader& in) {
 }  // namespace
 
 void save_checkpoint(const Simulation& sim, const std::string& path) {
+  // Attribute checkpoint telemetry (and any kCheckpointTruncate fault)
+  // to the owning simulation when its targets are scoped (see
+  // Simulation::set_telemetry).
+  const telemetry::TelemetryScope scope(sim.metrics_, sim.trace_);
+  const util::faultinject::FaultScope fault_scope(sim.fault_harness_);
   telemetry::TraceSpan span("checkpoint.save", "core");
   util::WallTimer timer;
 
@@ -127,6 +133,8 @@ void save_checkpoint(const Simulation& sim, const std::string& path) {
 }
 
 void restore_checkpoint(Simulation& sim, const std::string& path) {
+  const telemetry::TelemetryScope scope(sim.metrics_, sim.trace_);
+  const util::faultinject::FaultScope fault_scope(sim.fault_harness_);
   telemetry::TraceSpan span("checkpoint.restore", "core");
   util::WallTimer timer;
 

@@ -1,0 +1,435 @@
+#include "core/fleet.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "util/check.hpp"
+#include "util/faultinject.hpp"
+#include "util/parallel.hpp"
+#include "util/serialize.hpp"
+
+namespace bd::core {
+
+namespace telemetry = util::telemetry;
+
+// ---------------------------------------------------------------------------
+// Physics digest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void digest_solve(util::BinaryWriter& out, const SolveResult& result) {
+  out.write_f64_span(result.values.data());
+  out.write_f64_span(result.errors.data());
+  out.write_u64(result.fallback_items);
+  out.write_u64(result.kernel_intervals);
+  out.write_u64(result.sanitized_forecasts);
+  out.write_f64(result.forecast_mae);
+}
+
+}  // namespace
+
+std::uint32_t fleet_digest_step(const StepStats& stats, std::uint32_t prev) {
+  util::BinaryWriter out;
+  out.write_i64(stats.step);
+  out.write_f64(stats.dropped_charge);
+  digest_solve(out, stats.longitudinal);
+  out.write_bool(stats.transverse.has_value());
+  if (stats.transverse) digest_solve(out, *stats.transverse);
+  return util::crc32(out.payload(), prev);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet internals
+// ---------------------------------------------------------------------------
+
+struct SimulationFleet::Job {
+  JobId id = 0;
+  FleetJobSpec spec;
+  std::string spool_path;  ///< "" when the fleet has no spool directory
+
+  FleetJobState state = FleetJobState::kQueued;  ///< guarded by Impl::mu
+  std::string error;  ///< written by the owning lane before the terminal
+                      ///< state is published under Impl::mu
+
+  /// Progress fields are written lock-free by the one lane that owns the
+  /// job while it is kRunning and read by poll() — hence atomic.
+  std::atomic<std::size_t> steps_done{0};
+  std::atomic<std::uint32_t> digest{0};
+  std::atomic<bool> cancel_requested{false};
+
+  /// Job-private isolation: telemetry targets and (optional) fault
+  /// harness live as long as the job, surviving eviction — so a
+  /// `class[@step][:count]` budget is consumed once per job, never
+  /// re-armed by a resume and never shared with a neighbour sim.
+  std::unique_ptr<telemetry::MetricsRegistry> metrics =
+      std::make_unique<telemetry::MetricsRegistry>();
+  std::unique_ptr<telemetry::TraceSession> trace =
+      std::make_unique<telemetry::TraceSession>();
+  std::unique_ptr<util::faultinject::FaultHarness> harness;
+
+  std::unique_ptr<Simulation> sim;  ///< resident iff non-null
+};
+
+struct SimulationFleet::Impl {
+  mutable std::mutex mu;
+  std::condition_variable work_cv;  ///< driver: new work or shutdown
+  std::condition_variable done_cv;  ///< waiters: some job became terminal
+  std::vector<std::unique_ptr<Job>> jobs;   // guarded by mu (vector itself)
+  std::deque<JobId> ready;                  // guarded by mu
+  bool stop = false;                        // guarded by mu
+  bool stopping = false;  ///< dtor in progress: keep evicted spool files
+  std::thread driver;
+};
+
+SimulationFleet::SimulationFleet(FleetOptions options)
+    : options_(std::move(options)), impl_(std::make_unique<Impl>()) {
+  if (options_.quantum_steps == 0) options_.quantum_steps = 1;
+  BD_CHECK_MSG(options_.max_resident == 0 || !options_.spool_dir.empty(),
+               "SimulationFleet: max_resident > 0 requires a spool_dir");
+  impl_->driver = std::thread([this] { driver_loop(); });
+}
+
+SimulationFleet::~SimulationFleet() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+    impl_->stopping = true;
+    impl_->ready.clear();
+    for (auto& job : impl_->jobs) {
+      job->cancel_requested.store(true, std::memory_order_relaxed);
+      // Queued/evicted jobs are finalized here; running quanta observe
+      // cancel_requested and finalize themselves before the driver's
+      // round — and therefore this join — completes.
+      if (!fleet_job_terminal(job->state) &&
+          job->state != FleetJobState::kRunning) {
+        job->sim.reset();
+        job->state = FleetJobState::kCancelled;
+      }
+    }
+  }
+  impl_->work_cv.notify_all();
+  impl_->done_cv.notify_all();
+  impl_->driver.join();
+}
+
+SimulationFleet::JobId SimulationFleet::submit(FleetJobSpec spec) {
+  BD_CHECK_MSG(!spec.name.empty(), "FleetJobSpec.name must not be empty");
+  BD_CHECK_MSG(spec.name.find('/') == std::string::npos,
+               "FleetJobSpec.name must not contain '/': " << spec.name);
+  BD_CHECK_MSG(spec.factory != nullptr,
+               "FleetJobSpec.factory must not be null");
+  BD_CHECK_MSG(spec.target_steps > 0,
+               "FleetJobSpec.target_steps must be > 0");
+
+  auto job = std::make_unique<Job>();
+  if (!options_.spool_dir.empty()) {
+    job->spool_path = options_.spool_dir + "/" + spec.name + ".ckpt";
+  }
+  job->spec = std::move(spec);
+
+  JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    BD_CHECK_MSG(!impl_->stop, "submit() on a stopped SimulationFleet");
+    for (const auto& existing : impl_->jobs) {
+      BD_CHECK_MSG(existing->spec.name != job->spec.name,
+                   "duplicate fleet job name: " << job->spec.name);
+    }
+    id = impl_->jobs.size();
+    job->id = id;
+    impl_->jobs.push_back(std::move(job));
+    impl_->ready.push_back(id);
+  }
+  telemetry::counter_add("fleet.submitted");
+  impl_->work_cv.notify_one();
+  return id;
+}
+
+FleetJobStatus SimulationFleet::poll(JobId id) const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  BD_CHECK_MSG(id < impl_->jobs.size(), "unknown fleet job id " << id);
+  const Job& job = *impl_->jobs[id];
+  FleetJobStatus status;
+  status.state = job.state;
+  status.steps_done = job.steps_done.load(std::memory_order_relaxed);
+  status.target_steps = job.spec.target_steps;
+  status.digest = job.digest.load(std::memory_order_relaxed);
+  if (fleet_job_terminal(job.state)) status.error = job.error;
+  return status;
+}
+
+bool SimulationFleet::cancel(JobId id) {
+  bool removed_spool = false;
+  std::string spool;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    BD_CHECK_MSG(id < impl_->jobs.size(), "unknown fleet job id " << id);
+    Job& job = *impl_->jobs[id];
+    if (fleet_job_terminal(job.state)) return false;
+    job.cancel_requested.store(true, std::memory_order_relaxed);
+    if (job.state == FleetJobState::kRunning) {
+      // The owning lane finalizes at the next step boundary.
+      return true;
+    }
+    // Queued/evicted: finalize immediately and drop it from the queue.
+    for (auto it = impl_->ready.begin(); it != impl_->ready.end(); ++it) {
+      if (*it == id) {
+        impl_->ready.erase(it);
+        break;
+      }
+    }
+    job.sim.reset();
+    job.state = FleetJobState::kCancelled;
+    if (!job.spool_path.empty()) {
+      spool = job.spool_path;
+      removed_spool = true;
+    }
+  }
+  if (removed_spool) std::remove(spool.c_str());
+  telemetry::counter_add("fleet.cancelled");
+  impl_->done_cv.notify_all();
+  return true;
+}
+
+FleetJobStatus SimulationFleet::wait(JobId id) {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  BD_CHECK_MSG(id < impl_->jobs.size(), "unknown fleet job id " << id);
+  Job& job = *impl_->jobs[id];
+  impl_->done_cv.wait(lk, [&] { return fleet_job_terminal(job.state); });
+  FleetJobStatus status;
+  status.state = job.state;
+  status.steps_done = job.steps_done.load(std::memory_order_relaxed);
+  status.target_steps = job.spec.target_steps;
+  status.digest = job.digest.load(std::memory_order_relaxed);
+  status.error = job.error;
+  return status;
+}
+
+void SimulationFleet::wait_all() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->done_cv.wait(lk, [&] {
+    for (const auto& job : impl_->jobs) {
+      if (!fleet_job_terminal(job->state)) return false;
+    }
+    return true;
+  });
+}
+
+util::telemetry::MetricsSnapshot SimulationFleet::job_metrics(
+    JobId id) const {
+  telemetry::MetricsRegistry* registry = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    BD_CHECK_MSG(id < impl_->jobs.size(), "unknown fleet job id " << id);
+    registry = impl_->jobs[id]->metrics.get();
+  }
+  // The registry outlives the job (owned by the Job, which the fleet keeps
+  // until destruction), and snapshot() is internally synchronized.
+  return registry->snapshot();
+}
+
+std::size_t SimulationFleet::job_count() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->jobs.size();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+void SimulationFleet::driver_loop() {
+  telemetry::TraceSession::global().set_current_thread_name("fleet-driver");
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  for (;;) {
+    impl_->work_cv.wait(lk,
+                        [&] { return impl_->stop || !impl_->ready.empty(); });
+    if (impl_->stop && impl_->ready.empty()) return;
+    // One round: enough lanes to drain the current backlog, capped at the
+    // pool width. Lanes loop popping jobs, so a long backlog still drains
+    // in a single round; jobs submitted mid-round start the next one.
+    const std::size_t lanes = std::min<std::size_t>(
+        impl_->ready.size(), util::ThreadPool::global().num_threads());
+    lk.unlock();
+    {
+      telemetry::counter_add("fleet.rounds");
+      BD_TRACE_SPAN("fleet.round", "fleet");
+      util::parallel_for_chunked(
+          0, lanes, 1, [this](std::size_t, std::size_t) { run_lane(); });
+    }
+    lk.lock();
+  }
+}
+
+void SimulationFleet::run_lane() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      if (impl_->ready.empty()) return;
+      job = impl_->jobs[impl_->ready.front()].get();
+      impl_->ready.pop_front();
+      job->state = FleetJobState::kRunning;
+    }
+    run_quantum(*job);
+  }
+}
+
+void SimulationFleet::run_quantum(Job& job) {
+  // Fleet-level telemetry goes to the ambient registry/session (normally
+  // the process-global ones); the sim's own step()/checkpoint telemetry
+  // is scoped to the job's private instances via set_telemetry below.
+  telemetry::counter_add("fleet.quanta");
+  BD_TRACE_SPAN("fleet.quantum", "fleet");
+
+  bool failed = false;
+  if (!job.cancel_requested.load(std::memory_order_relaxed)) {
+    try {
+      if (!job.sim) {
+        job.sim = job.spec.factory();
+        BD_CHECK_MSG(job.sim != nullptr,
+                     "fleet job '" << job.spec.name
+                                   << "': factory returned null");
+        job.sim->set_telemetry(job.metrics.get(), job.trace.get());
+        if (!job.spec.fault_spec.empty()) {
+          if (!job.harness) {
+            // Seeded from the sim's own seed: two jobs running the same
+            // spec corrupt different cells, and the budget survives
+            // eviction (the harness does not re-arm on resume).
+            job.harness =
+                std::make_unique<util::faultinject::FaultHarness>();
+            job.harness->install(job.spec.fault_spec,
+                                 job.sim->config().seed);
+          }
+          job.sim->set_fault_harness(job.harness.get());
+        }
+        if (!job.spool_path.empty() &&
+            std::filesystem::exists(job.spool_path)) {
+          restore_checkpoint(*job.sim, job.spool_path);
+          job.steps_done.store(
+              static_cast<std::size_t>(job.sim->current_step()),
+              std::memory_order_relaxed);
+          telemetry::counter_add("fleet.resumes");
+        } else if (!job.sim->initialized()) {
+          job.sim->initialize();
+        }
+      }
+      std::size_t done = job.steps_done.load(std::memory_order_relaxed);
+      std::uint32_t digest = job.digest.load(std::memory_order_relaxed);
+      std::size_t ran = 0;
+      while (ran < options_.quantum_steps &&
+             done < job.spec.target_steps &&
+             !job.cancel_requested.load(std::memory_order_relaxed)) {
+        const StepStats stats = job.sim->step();
+        digest = fleet_digest_step(stats, digest);
+        ++done;
+        ++ran;
+        job.steps_done.store(done, std::memory_order_relaxed);
+        job.digest.store(digest, std::memory_order_relaxed);
+        if (job.spec.on_step) job.spec.on_step(stats);
+      }
+    } catch (const std::exception& e) {
+      job.error = e.what();
+      failed = true;
+    } catch (...) {
+      job.error = "unknown exception";
+      failed = true;
+    }
+  }
+
+  // Decide the job's fate. Eviction checkpointing does file I/O, so it
+  // happens outside the lock; until then the job stays kRunning and no
+  // other lane can touch it. Once a non-terminal job is pushed back onto
+  // the ready queue another lane may claim it immediately, so everything
+  // after each critical section works from the locally captured
+  // `decided`/`resident` values, never from `job` again.
+  bool evict = false;
+  bool keep_spool_on_cancel = false;
+  FleetJobState decided = FleetJobState::kRunning;
+  std::size_t resident = 0;
+  const auto count_resident = [this] {
+    std::size_t n = 0;
+    for (const auto& j : impl_->jobs) n += j->sim != nullptr;
+    return n;
+  };
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    keep_spool_on_cancel = impl_->stopping;
+    if (failed) {
+      job.sim.reset();
+      decided = FleetJobState::kFailed;
+    } else if (job.cancel_requested.load(std::memory_order_relaxed)) {
+      job.sim.reset();
+      decided = FleetJobState::kCancelled;
+    } else if (job.steps_done.load(std::memory_order_relaxed) >=
+               job.spec.target_steps) {
+      job.sim.reset();
+      decided = FleetJobState::kDone;
+    } else if (options_.max_resident > 0 &&
+               count_resident() > options_.max_resident) {
+      evict = true;  // stays kRunning until the checkpoint lands
+    } else {
+      decided = FleetJobState::kQueued;
+    }
+    if (!evict) {
+      job.state = decided;
+      if (decided == FleetJobState::kQueued) {
+        impl_->ready.push_back(job.id);
+      }
+      resident = count_resident();
+    }
+  }
+
+  if (evict) {
+    try {
+      BD_TRACE_SPAN("fleet.evict", "fleet");
+      save_checkpoint(*job.sim, job.spool_path);
+      telemetry::counter_add("fleet.evictions");
+      decided = FleetJobState::kEvicted;
+    } catch (const std::exception& e) {
+      job.error = e.what();
+      decided = FleetJobState::kFailed;
+    }
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    job.sim.reset();
+    job.state = decided;
+    if (decided == FleetJobState::kEvicted) {
+      impl_->ready.push_back(job.id);
+    }
+    resident = count_resident();
+  }
+
+  telemetry::gauge_set("fleet.resident", static_cast<double>(resident));
+  switch (decided) {
+    case FleetJobState::kDone:
+      telemetry::counter_add("fleet.completed");
+      if (!job.spool_path.empty()) std::remove(job.spool_path.c_str());
+      impl_->done_cv.notify_all();
+      break;
+    case FleetJobState::kCancelled:
+      telemetry::counter_add("fleet.cancelled");
+      // Keep the spool file while the dtor is tearing the fleet down so a
+      // restarted process can resubmit and resume the job.
+      if (!job.spool_path.empty() && !keep_spool_on_cancel) {
+        std::remove(job.spool_path.c_str());
+      }
+      impl_->done_cv.notify_all();
+      break;
+    case FleetJobState::kFailed:
+      telemetry::counter_add("fleet.failed");
+      impl_->done_cv.notify_all();
+      break;
+    default:
+      impl_->work_cv.notify_one();
+      break;
+  }
+}
+
+}  // namespace bd::core

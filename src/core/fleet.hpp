@@ -1,0 +1,170 @@
+#pragma once
+/// \file fleet.hpp
+/// SimulationFleet: a job queue that runs N independent Simulations —
+/// parameter sweeps, ensemble runs, per-user configs — over the existing
+/// fork-join thread pool (ROADMAP item 1; the aggregation-of-independent-
+/// work shape PyHEADTAIL-style parallelization argues for).
+///
+/// ## Execution model
+///
+/// A single driver thread turns the queue into *rounds*: each round is one
+/// `parallel_for_chunked(0, lanes, 1, ...)` job on the global ThreadPool
+/// whose chunk bodies loop popping ready jobs and running each for a
+/// *quantum* of steps. Because nested parallel loops inside pool work run
+/// serially (util/parallel), a simulation's whole quantum executes on one
+/// thread — and PR 2's determinism contract (bit-identical results at any
+/// thread count) makes that execution bit-identical to running the sim
+/// alone, at any `BD_NUM_THREADS`. Note the fleet occupies the pool's
+/// single job slot while a round is in flight; submitting pool work from
+/// other threads during a round waits for the round to finish.
+///
+/// ## Isolation
+///
+/// Every job gets its own MetricsRegistry + TraceSession (installed via
+/// Simulation::set_telemetry, scoped per step by TelemetryScope) and —
+/// when the spec carries a fault plan — its own FaultHarness seeded from
+/// the sim's own seed. RNG and SolverScratch are per-Simulation already.
+/// Shared *read-only* resources (wake tables, analytic references) are
+/// safe to share across factories. Fleet-level telemetry (`fleet.*`)
+/// goes to the ambient (normally process-global) registry.
+///
+/// ## Eviction + resume
+///
+/// With `max_resident` set, a job whose quantum ends while more than
+/// `max_resident` simulations are live is checkpointed into `spool_dir`
+/// and destroyed; it is rebuilt from its factory + checkpoint when next
+/// scheduled, so thousands of queued scenarios need only a bounded
+/// working set (and the spool survives process restarts — a resubmitted
+/// job resumes from its spool file if one exists). Restores are
+/// bit-identical in *physics* (values/errors/fallback work/digest);
+/// SIMT cache-model metrics are address-sensitive and may differ after a
+/// cross-object restore (see tests/test_checkpoint.cpp).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "util/telemetry.hpp"
+
+namespace bd::core {
+
+/// Fleet-wide knobs.
+struct FleetOptions {
+  /// Soft cap on concurrently live Simulation objects (0 = unlimited).
+  /// Transient overshoot up to the number of pool lanes is possible.
+  std::size_t max_resident = 0;
+  /// Directory for eviction checkpoints. Required when max_resident > 0.
+  std::string spool_dir;
+  /// Steps a job runs per scheduling quantum (min 1).
+  std::size_t quantum_steps = 4;
+};
+
+/// One queued scenario.
+struct FleetJobSpec {
+  /// Unique job name; also the spool checkpoint filename (`<name>.ckpt`).
+  std::string name;
+  /// Builds the job's Simulation, constructed but NOT initialized — the
+  /// fleet calls initialize() or restores the spool checkpoint itself.
+  /// Must be callable from a pool thread.
+  std::function<std::unique_ptr<Simulation>()> factory;
+  /// Total steps to run.
+  std::size_t target_steps = 0;
+  /// Optional BD_FAULT-grammar plan installed into a job-private harness
+  /// seeded from the sim's own config seed ("" = no fault injection).
+  std::string fault_spec;
+  /// Optional per-step observer, called on the running thread after each
+  /// step with that step's stats (tests use it to capture KernelMetrics).
+  std::function<void(const StepStats&)> on_step;
+};
+
+/// Job lifecycle. kQueued covers both never-started and requeued-resident
+/// jobs; kEvicted is a queued job whose state lives in the spool.
+enum class FleetJobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kEvicted = 2,
+  kDone = 3,
+  kCancelled = 4,
+  kFailed = 5,
+};
+
+/// True for states a job can never leave.
+constexpr bool fleet_job_terminal(FleetJobState s) {
+  return s == FleetJobState::kDone || s == FleetJobState::kCancelled ||
+         s == FleetJobState::kFailed;
+}
+
+/// Snapshot of one job's progress.
+struct FleetJobStatus {
+  FleetJobState state = FleetJobState::kQueued;
+  std::size_t steps_done = 0;
+  std::size_t target_steps = 0;
+  /// Chained physics digest over all completed steps (see
+  /// fleet_digest_step) — survives eviction/resume bit-identically.
+  std::uint32_t digest = 0;
+  std::string error;  ///< what() of the failing step (kFailed only)
+};
+
+/// Fold one step's deterministic physics outputs into a running CRC32
+/// digest: step index, dropped charge, potential values/errors (bit
+/// patterns), fallback/kernel work counts, sanitizer tallies and forecast
+/// MAE — everything PR 2 + checkpointing guarantee bit-identical across
+/// thread counts and across evict/resume. Timing fields and the
+/// address-sensitive SIMT cache metrics are excluded.
+std::uint32_t fleet_digest_step(const StepStats& stats, std::uint32_t prev);
+
+/// The job-queue engine. All public methods are thread-safe.
+class SimulationFleet {
+ public:
+  using JobId = std::size_t;
+
+  explicit SimulationFleet(FleetOptions options = {});
+
+  /// Cancels every non-terminal job (evicted jobs keep their spool file),
+  /// finishes the in-flight quantum, and joins the driver thread.
+  ~SimulationFleet();
+
+  SimulationFleet(const SimulationFleet&) = delete;
+  SimulationFleet& operator=(const SimulationFleet&) = delete;
+
+  /// Enqueue a scenario; returns its id (ids are dense, in submit order).
+  /// Throws bd::CheckError on an invalid spec (empty name/factory, zero
+  /// target_steps, duplicate name).
+  JobId submit(FleetJobSpec spec);
+
+  /// Current status of a job (non-blocking).
+  FleetJobStatus poll(JobId id) const;
+
+  /// Request cancellation. Queued jobs cancel immediately; a running job
+  /// stops at its next step boundary. Returns false if the job was
+  /// already terminal.
+  bool cancel(JobId id);
+
+  /// Block until the job reaches a terminal state; returns it.
+  FleetJobStatus wait(JobId id);
+
+  /// Block until every submitted job is terminal.
+  void wait_all();
+
+  /// Deterministic merged snapshot of the job's private metrics registry
+  /// (sim.* counters/histograms of that job only).
+  util::telemetry::MetricsSnapshot job_metrics(JobId id) const;
+
+  std::size_t job_count() const;
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  struct Job;
+  struct Impl;
+
+  void driver_loop();
+  void run_lane();
+  void run_quantum(Job& job);
+
+  FleetOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bd::core

@@ -167,7 +167,7 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   SolverScratch& scratch = scratch_for(problem);
   const std::size_t num_points = problem.num_points();
 
-  telemetry::TraceSession& session = telemetry::TraceSession::global();
+  telemetry::TraceSession& session = telemetry::current_trace();
 
   // (1) + (2): forecast patterns, build per-point partitions.
   util::WallTimer forecast_timer;

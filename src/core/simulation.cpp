@@ -75,6 +75,16 @@ Simulation::Simulation(SimConfig config, std::unique_ptr<RpSolver> solver,
 
 Simulation::~Simulation() = default;
 
+void Simulation::set_telemetry(util::telemetry::MetricsRegistry* metrics,
+                               util::telemetry::TraceSession* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+}
+
+void Simulation::set_fault_harness(util::faultinject::FaultHarness* harness) {
+  fault_harness_ = harness;
+}
+
 void Simulation::add_fallback_solver(std::unique_ptr<RpSolver> solver) {
   BD_CHECK_MSG(solver != nullptr, "fallback solver must not be null");
   fallback_solvers_.push_back(std::move(solver));
@@ -110,6 +120,8 @@ void Simulation::deposit_current(double& seconds, double& dropped) {
 
 void Simulation::initialize() {
   BD_CHECK_MSG(!initialized_, "initialize() called twice");
+  const telemetry::TelemetryScope scope(metrics_, trace_);
+  const util::faultinject::FaultScope fault_scope(fault_harness_);
   particles_ =
       beam::sample_gaussian_bunch(config_.particles, config_.beam, rng_);
   double seconds = 0.0, dropped = 0.0;
@@ -236,6 +248,8 @@ void Simulation::update_ladder(StepStats& stats) {
 
 StepStats Simulation::step() {
   BD_CHECK_MSG(initialized_, "call initialize() first");
+  const telemetry::TelemetryScope scope(metrics_, trace_);
+  const util::faultinject::FaultScope fault_scope(fault_harness_);
   ++step_;
   StepStats stats;
   stats.step = step_;
@@ -339,7 +353,8 @@ StepStats Simulation::step() {
   update_ladder(stats);
 
   // Surface the per-phase breakdown and solver quality metrics through the
-  // process-wide registry (see docs/METRICS.md).
+  // current registry — this sim's own when set_telemetry was called, the
+  // process-wide default otherwise (see docs/METRICS.md).
   telemetry::counter_add("sim.steps");
   telemetry::histogram_record("sim.deposit_ms", stats.phase_ms.deposit_ms);
   telemetry::histogram_record("sim.solve_ms", stats.phase_ms.solve_ms);

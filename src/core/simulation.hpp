@@ -17,7 +17,9 @@
 #include "beam/wake.hpp"
 #include "core/health.hpp"
 #include "core/solver.hpp"
+#include "util/faultinject.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace bd::core {
 
@@ -129,6 +131,22 @@ class Simulation {
   /// The RpProblem for the current step and given model (for tooling).
   RpProblem make_problem(const beam::WakeModel& model) const;
 
+  /// Route this simulation's telemetry to `metrics`/`trace` instead of the
+  /// process-global instances (nullptr = keep using the ambient target).
+  /// initialize()/step()/run() and checkpoint save/restore install the
+  /// pair as a TelemetryScope for their duration, and the thread pool
+  /// propagates it to workers — so concurrent simulations never interleave
+  /// metrics. Used by core/fleet; standalone sims need not call this.
+  void set_telemetry(util::telemetry::MetricsRegistry* metrics,
+                     util::telemetry::TraceSession* trace);
+
+  /// Route this simulation's fault injection to `harness` (nullptr = the
+  /// ambient/default harness). Same scoping rules as set_telemetry.
+  void set_fault_harness(util::faultinject::FaultHarness* harness);
+
+  /// Whether initialize() has run (directly or via checkpoint restore).
+  bool initialized() const { return initialized_; }
+
  private:
   friend void save_checkpoint(const Simulation& sim, const std::string& path);
   friend void restore_checkpoint(Simulation& sim, const std::string& path);
@@ -159,6 +177,10 @@ class Simulation {
   DegradationLadder ladder_;
   std::int64_t step_ = 0;
   bool initialized_ = false;
+  /// Scoped telemetry/fault targets (see set_telemetry); nullptr = ambient.
+  util::telemetry::MetricsRegistry* metrics_ = nullptr;
+  util::telemetry::TraceSession* trace_ = nullptr;
+  util::faultinject::FaultHarness* fault_harness_ = nullptr;
 };
 
 /// Checkpoint/restart (core/checkpoint.cpp). Declared here so they can be

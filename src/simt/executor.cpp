@@ -53,7 +53,7 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
   // traces and accumulates divergence/coalescing counters into a private
   // KernelMetrics, so pass 1 shares no mutable state between tasks.
   std::vector<BlockOutput> blocks(config.num_blocks);
-  telemetry::TraceSession& session = telemetry::TraceSession::global();
+  telemetry::TraceSession& session = telemetry::current_trace();
   const double lane_pass_start = session.enabled() ? session.now_us() : 0.0;
   util::parallel_for(0, config.num_blocks, [&](std::size_t b) {
     BlockOutput& out = blocks[b];

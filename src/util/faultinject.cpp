@@ -21,21 +21,6 @@ struct Entry {
   bool fired = false;
 };
 
-struct Plan {
-  std::mutex mutex;
-  std::vector<Entry> entries;
-  std::uint64_t fired = 0;
-};
-
-// Leaked on purpose: fire() may run from pool workers during atexit paths.
-Plan& plan() {
-  static Plan* p = new Plan;
-  return *p;
-}
-
-/// Relaxed gate mirrored from the entry list under the plan mutex.
-std::atomic<bool> g_armed{false};
-
 FaultClass parse_class(const std::string& token) {
   if (token == "grid_nan") return FaultClass::kGridNan;
   if (token == "forecast") return FaultClass::kForecastCorrupt;
@@ -58,7 +43,8 @@ std::int64_t parse_int(const std::string& token, const char* what) {
 }
 
 /// fault := class [ '@' step ] [ ':' count ]
-Entry parse_fault(const std::string& token, std::size_t index) {
+Entry parse_fault(const std::string& token, std::size_t index,
+                  std::uint64_t seed_base) {
   std::string body = token;
   Entry entry;
   if (const auto colon = body.find(':'); colon != std::string::npos) {
@@ -74,75 +60,123 @@ Entry parse_fault(const std::string& token, std::size_t index) {
   }
   entry.cls = parse_class(body);
   // Fixed per-entry seed: the same spec corrupts the same cells every run.
+  // seed_base = 0 (the default harness) reproduces the historical values;
+  // per-sim harnesses fold in the sim's own seed so concurrent sims with
+  // identical specs corrupt different cells.
   SplitMix64 mix(0xBDFA117Bu + static_cast<std::uint64_t>(index));
   entry.seed = mix.next();
+  if (seed_base != 0) entry.seed ^= SplitMix64(seed_base).next();
   return entry;
 }
 
-void install_locked(Plan& p, const std::string& spec) {
-  p.entries.clear();
+}  // namespace
+
+struct FaultHarness::Impl {
+  mutable std::mutex mutex;
+  std::vector<Entry> entries;
+  std::uint64_t fired = 0;
+  /// Relaxed gate mirrored from the entry list under the mutex.
+  std::atomic<bool> armed{false};
+};
+
+FaultHarness::FaultHarness() : impl_(std::make_unique<Impl>()) {}
+FaultHarness::~FaultHarness() = default;
+
+FaultHarness& FaultHarness::default_harness() {
+  // Leaked on purpose: fire() may run from pool workers during atexit paths.
+  static FaultHarness* harness = new FaultHarness();
+  static std::once_flag bootstrapped;
+  std::call_once(bootstrapped, [] {
+    if (const char* spec = std::getenv("BD_FAULT"); spec && *spec) {
+      harness->install(spec);
+    }
+  });
+  return *harness;
+}
+
+void FaultHarness::install(const std::string& spec, std::uint64_t seed_base) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->entries.clear();
   std::size_t begin = 0;
   while (begin <= spec.size() && !spec.empty()) {
     std::size_t end = spec.find(';', begin);
     if (end == std::string::npos) end = spec.size();
     const std::string token = spec.substr(begin, end - begin);
-    if (!token.empty()) p.entries.push_back(parse_fault(token, p.entries.size()));
+    if (!token.empty()) {
+      impl_->entries.push_back(
+          parse_fault(token, impl_->entries.size(), seed_base));
+    }
     if (end == spec.size()) break;
     begin = end + 1;
   }
-  g_armed.store(!p.entries.empty(), std::memory_order_relaxed);
+  impl_->armed.store(!impl_->entries.empty(), std::memory_order_relaxed);
 }
 
-void install_env_once() {
-  static std::once_flag flag;
-  std::call_once(flag, [] {
-    if (const char* spec = std::getenv("BD_FAULT"); spec && *spec) {
-      Plan& p = plan();
-      std::lock_guard<std::mutex> lock(p.mutex);
-      install_locked(p, spec);
-    }
-  });
+void FaultHarness::clear() { install(""); }
+
+bool FaultHarness::armed() const {
+  return impl_->armed.load(std::memory_order_relaxed);
 }
 
-}  // namespace
-
-bool enabled() {
-  install_env_once();
-  return g_armed.load(std::memory_order_relaxed);
-}
-
-void install(const std::string& spec) {
-  install_env_once();  // env plan, if any, is replaced below
-  Plan& p = plan();
-  std::lock_guard<std::mutex> lock(p.mutex);
-  install_locked(p, spec);
-}
-
-void clear() { install(""); }
-
-std::optional<Injection> fire(FaultClass cls, std::int64_t step) {
-  Plan& p = plan();
-  std::lock_guard<std::mutex> lock(p.mutex);
-  for (Entry& entry : p.entries) {
+std::optional<Injection> FaultHarness::fire(FaultClass cls,
+                                            std::int64_t step) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (Entry& entry : impl_->entries) {
     if (entry.fired || entry.cls != cls) continue;
     // A site that does not know the step (e.g. the serialize layer) passes
     // step = -1 and matches entries armed for any step.
     if (entry.step >= 0 && step >= 0 && entry.step != step) continue;
     entry.fired = true;
-    ++p.fired;
+    ++impl_->fired;
     bool any_pending = false;
-    for (const Entry& e : p.entries) any_pending |= !e.fired;
-    g_armed.store(any_pending, std::memory_order_relaxed);
+    for (const Entry& e : impl_->entries) any_pending |= !e.fired;
+    impl_->armed.store(any_pending, std::memory_order_relaxed);
     telemetry::counter_add("faultinject.injections");
     return Injection{entry.count, entry.seed};
   }
   return std::nullopt;
 }
 
+std::uint64_t FaultHarness::fired_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->fired;
+}
+
+// ---------------------------------------------------------------------------
+// FaultScope + free functions
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local FaultHarness* tls_harness = nullptr;
+}  // namespace
+
+FaultScope::FaultScope(FaultHarness* harness) : prev_(tls_harness) {
+  if (harness != nullptr) tls_harness = harness;
+}
+
+FaultScope::~FaultScope() { tls_harness = prev_; }
+
+FaultHarness* scoped_harness() { return tls_harness; }
+
+FaultHarness& current_harness() {
+  return tls_harness != nullptr ? *tls_harness
+                                : FaultHarness::default_harness();
+}
+
+bool enabled() { return current_harness().armed(); }
+
+void install(const std::string& spec) {
+  FaultHarness::default_harness().install(spec);
+}
+
+void clear() { FaultHarness::default_harness().clear(); }
+
 std::uint64_t fired_count() {
-  Plan& p = plan();
-  std::lock_guard<std::mutex> lock(p.mutex);
-  return p.fired;
+  return FaultHarness::default_harness().fired_count();
+}
+
+std::optional<Injection> fire(FaultClass cls, std::int64_t step) {
+  return current_harness().fire(cls, step);
 }
 
 }  // namespace bd::util::faultinject

@@ -20,11 +20,21 @@
 /// derived from a fixed per-entry seed, so a given spec perturbs the
 /// simulation identically on every run.
 ///
+/// Plans live in a **FaultHarness**. The process-wide default harness is
+/// what `BD_FAULT` bootstraps and what the free functions target, so a
+/// single simulation behaves exactly as before. Concurrent simulations
+/// each get their own harness (core/fleet seeds it from the sim's own
+/// seed) installed with a **FaultScope** — a thread-local RAII override,
+/// propagated to pool workers for the duration of each parallel job —
+/// so one sim's `class[@step][:count]` budget can never be consumed by a
+/// neighbour's step loop.
+///
 /// Cost when idle: call sites gate on `enabled()`, a single relaxed
 /// atomic load that is false unless a plan with unfired entries is
 /// installed — the defaults-off hot path stays branch-predictable.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -38,30 +48,86 @@ enum class FaultClass : std::uint8_t {
   kPoolThrow = 3,        ///< throw from a thread-pool job body (forecast)
 };
 
-/// Fast gate: true only while a plan with unfired entries is installed.
-/// The first call lazily installs the `BD_FAULT` environment spec.
-bool enabled();
-
-/// Replace the current plan with `spec` (see the grammar above; "" clears).
-/// Throws bd::CheckError on a malformed spec.
-void install(const std::string& spec);
-
-/// Remove all faults (fired and pending).
-void clear();
-
 /// Parameters of a fired fault.
 struct Injection {
   std::uint32_t count = 1;  ///< how many cells/values to corrupt
   std::uint64_t seed = 0;   ///< deterministic per-entry RNG seed
 };
 
-/// One-shot trigger: if an unfired fault of `cls` is armed for `step`
-/// (or armed step-wildcard), consume it and return its parameters.
-/// Thread-safe; exactly one caller wins a given entry.
-std::optional<Injection> fire(FaultClass cls, std::int64_t step);
+/// One fault plan: a set of one-shot entries plus the fired tally.
+/// Instances are independent; all methods are thread-safe.
+class FaultHarness {
+ public:
+  FaultHarness();
+  ~FaultHarness();
+  FaultHarness(const FaultHarness&) = delete;
+  FaultHarness& operator=(const FaultHarness&) = delete;
 
-/// Total entries fired since the plan was installed (mirrors the
-/// `faultinject.injections` telemetry counter).
+  /// The process-wide default harness (never destroyed). First call
+  /// lazily installs the `BD_FAULT` environment spec into it.
+  static FaultHarness& default_harness();
+
+  /// Replace the plan with `spec` (grammar above; "" clears). Entry seeds
+  /// mix in `seed_base` so two harnesses running the same spec corrupt
+  /// different cells; `seed_base = 0` reproduces the historical seeds
+  /// bit-for-bit. Throws bd::CheckError on a malformed spec.
+  void install(const std::string& spec, std::uint64_t seed_base = 0);
+
+  /// Remove all faults (fired and pending).
+  void clear();
+
+  /// True while the plan has unfired entries (one relaxed atomic load).
+  bool armed() const;
+
+  /// One-shot trigger: if an unfired fault of `cls` is armed for `step`
+  /// (or armed step-wildcard), consume it and return its parameters.
+  /// Thread-safe; exactly one caller wins a given entry.
+  std::optional<Injection> fire(FaultClass cls, std::int64_t step);
+
+  /// Total entries fired since the plan was installed (mirrors the
+  /// `faultinject.injections` telemetry counter).
+  std::uint64_t fired_count() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Thread-local RAII override of the harness the free functions use.
+/// A null harness keeps the previous target. Scopes nest; util/parallel
+/// snapshots the submitting thread's scope into every pool job, exactly
+/// like telemetry::TelemetryScope.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultHarness* harness);
+  ~FaultScope();
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  FaultHarness* prev_;
+};
+
+/// The innermost scoped override on this thread (nullptr = none).
+FaultHarness* scoped_harness();
+
+/// The harness the free functions resolve to: the scoped override when
+/// one is installed, else the default harness.
+FaultHarness& current_harness();
+
+/// Fast gate on the *current* harness (scoped else default). The first
+/// call lazily installs the `BD_FAULT` environment spec into the default
+/// harness.
+bool enabled();
+
+/// install/clear/fired_count of the **default** harness — the historical
+/// process-wide API the guarded-simulation tests drive. Scoped harnesses
+/// are managed through their owning object instead.
+void install(const std::string& spec);
+void clear();
 std::uint64_t fired_count();
+
+/// fire() on the current harness (scoped else default).
+std::optional<Injection> fire(FaultClass cls, std::int64_t step);
 
 }  // namespace bd::util::faultinject

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/faultinject.hpp"
 #include "util/telemetry.hpp"
 
 namespace bd::util {
@@ -36,6 +37,12 @@ struct ThreadPool::Job {
   std::size_t end = 0;
   std::size_t grain = 1;
   const ChunkFn* body = nullptr;
+  // The submitting thread's telemetry/fault scopes, installed on every
+  // worker for the duration of this job so a scoped simulation stays
+  // scoped across its own parallel loops (see telemetry::TelemetryScope).
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::TraceSession* trace = nullptr;
+  faultinject::FaultHarness* harness = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
   int active = 0;                 // guarded by Impl::mu
@@ -105,6 +112,8 @@ void ThreadPool::worker_loop(unsigned index) {
     std::exception_ptr err;
     std::size_t claimed = 0;
     try {
+      const telemetry::TelemetryScope scope(job->metrics, job->trace);
+      const faultinject::FaultScope fault_scope(job->harness);
       telemetry::TraceSpan span("pool.work", "pool");
       claimed = work_on(*job);
       span.arg("chunks", static_cast<std::uint64_t>(claimed));
@@ -149,6 +158,9 @@ void ThreadPool::for_chunks(std::size_t begin, std::size_t end,
   job.end = end;
   job.grain = grain;
   job.body = &body;
+  job.metrics = telemetry::scoped_metrics();
+  job.trace = telemetry::scoped_trace();
+  job.harness = faultinject::scoped_harness();
   job.next.store(begin, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(impl_->mu);

@@ -1,5 +1,8 @@
 #include "util/serialize.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -223,20 +226,37 @@ void write_checked_file(const std::string& path, std::uint32_t magic,
           .has_value();
   if (truncate_fault) write_size = file.size() / 2;
 
-  const std::string tmp = path + ".tmp";
+  // The temp name must be unique per process *and* per writer: two sims
+  // checkpointing into the same directory (or two processes sharing a
+  // spool) must never write the same tmp file, or one rename publishes
+  // the other's half-written bytes. The final rename stays atomic because
+  // the tmp lives in the destination directory.
+  static std::atomic<std::uint64_t> g_tmp_seq{0};
+  const std::uint64_t seq =
+      g_tmp_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(seq);
   {
     FileHandle f(std::fopen(tmp.c_str(), "wb"));
     BD_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing");
     const std::size_t written =
         std::fwrite(file.data(), 1, write_size, f.get());
-    BD_CHECK_MSG(written == write_size && std::fflush(f.get()) == 0,
-                 "short write to " << tmp);
+    if (written != write_size || std::fflush(f.get()) != 0) {
+      f.reset();
+      std::remove(tmp.c_str());
+      BD_CHECK_MSG(false, "short write to " << tmp);
+    }
   }
-  BD_CHECK_MSG(!truncate_fault,
-               "fault injected: checkpoint write to " << path
-                                                      << " truncated mid-file");
-  BD_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
-               "cannot rename " << tmp << " over " << path);
+  if (truncate_fault) {
+    std::remove(tmp.c_str());
+    BD_CHECK_MSG(false, "fault injected: checkpoint write to "
+                            << path << " truncated mid-file");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    BD_CHECK_MSG(false, "cannot rename " << tmp << " over " << path);
+  }
 }
 
 std::vector<std::byte> read_checked_file(const std::string& path,

@@ -89,10 +89,14 @@ void write_nested_f64(BinaryWriter& out,
                       const std::vector<std::vector<double>>& values);
 std::vector<std::vector<double>> read_nested_f64(BinaryReader& in);
 
-/// Atomically write a checked file: the header+payload go to `path + ".tmp"`
-/// first and are renamed over `path` only once fully flushed, so `path`
-/// always holds either the previous snapshot or the complete new one.
-/// Throws bd::CheckError on I/O failure (the previous file is untouched).
+/// Atomically write a checked file: the header+payload go to a unique
+/// `path + ".tmp.<pid>.<seq>"` sibling first and are renamed over `path`
+/// only once fully flushed, so `path` always holds either the previous
+/// snapshot or the complete new one — and concurrent writers (two sims
+/// checkpointing into one directory, or two processes sharing a spool)
+/// can never clobber each other's in-flight temp file.
+/// Throws bd::CheckError on I/O failure (the previous file is untouched
+/// and the temp file is removed).
 void write_checked_file(const std::string& path, std::uint32_t magic,
                         std::uint32_t version,
                         std::span<const std::byte> payload);

@@ -80,8 +80,44 @@ struct Cell {
   MetricKind kind = MetricKind::kCounter;
   std::uint64_t counter = 0;
   double gauge = 0.0;
-  std::uint64_t gauge_seq = 0;  // global write sequence; highest wins
+  std::uint64_t gauge_seq = 0;  // registry write sequence; highest wins
   HistogramSnapshot hist;
+};
+}  // namespace
+
+namespace {
+/// Unique ids for registry/session instances. Ids are never reused, so a
+/// thread-local (id → shard/lane) cache entry can never alias a new
+/// instance that happens to be allocated at a destroyed one's address.
+std::atomic<std::uint64_t> g_instance_ids{0};
+
+std::uint64_t next_instance_id() {
+  return g_instance_ids.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Small per-thread most-recent-first cache of (instance id → storage).
+/// Entries for destroyed instances are harmless (their ids never match
+/// again) and are evicted by the size cap.
+struct InstanceCache {
+  struct Entry {
+    std::uint64_t id;
+    void* storage;
+  };
+  std::vector<Entry> entries;
+
+  void* find(std::uint64_t id) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].id != id) continue;
+      if (i != 0) std::swap(entries[0], entries[i]);
+      return entries[0].storage;
+    }
+    return nullptr;
+  }
+
+  void remember(std::uint64_t id, void* storage) {
+    entries.insert(entries.begin(), Entry{id, storage});
+    if (entries.size() > 16) entries.pop_back();
+  }
 };
 }  // namespace
 
@@ -93,29 +129,35 @@ struct MetricsRegistry::Shard {
 };
 
 struct MetricsRegistry::Impl {
-  std::mutex mu;  // guards shards (the vector, not the shard contents)
+  const std::uint64_t id = next_instance_id();
+  std::mutex mu;  // guards shards/by_thread (the containers, not contents)
   std::vector<std::unique_ptr<Shard>> shards;
+  std::map<std::thread::id, Shard*> by_thread;
   std::atomic<std::uint64_t> gauge_seq{0};
 };
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
   return *instance;
 }
 
-MetricsRegistry::Impl& MetricsRegistry::impl() const {
-  static Impl* impl = new Impl();  // never destroyed
-  return *impl;
-}
-
 MetricsRegistry::Shard& MetricsRegistry::local_shard() const {
-  thread_local Shard* shard = nullptr;
-  if (shard == nullptr) {
-    auto owned = std::make_unique<Shard>();
-    shard = owned.get();
-    std::lock_guard<std::mutex> lk(impl().mu);
-    impl().shards.push_back(std::move(owned));  // registry owns it forever
+  thread_local InstanceCache cache;
+  if (void* hit = cache.find(impl_->id)) return *static_cast<Shard*>(hit);
+  Shard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    Shard*& slot = impl_->by_thread[std::this_thread::get_id()];
+    if (slot == nullptr) {
+      impl_->shards.push_back(std::make_unique<Shard>());
+      slot = impl_->shards.back().get();  // registry owns it for its lifetime
+    }
+    shard = slot;
   }
+  cache.remember(impl_->id, shard);
   return *shard;
 }
 
@@ -132,7 +174,7 @@ void MetricsRegistry::counter_add(std::string_view name, std::uint64_t delta) {
 
 void MetricsRegistry::gauge_set(std::string_view name, double value) {
   const std::uint64_t seq =
-      impl().gauge_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+      impl_->gauge_seq.fetch_add(1, std::memory_order_relaxed) + 1;
   Shard& shard = local_shard();
   std::lock_guard<std::mutex> lk(shard.mu);
   auto it = shard.cells.find(name);
@@ -168,9 +210,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   // program produces a deterministic snapshot.
   std::vector<Shard*> shards;
   {
-    std::lock_guard<std::mutex> lk(impl().mu);
-    shards.reserve(impl().shards.size());
-    for (const auto& s : impl().shards) shards.push_back(s.get());
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    shards.reserve(impl_->shards.size());
+    for (const auto& s : impl_->shards) shards.push_back(s.get());
   }
   std::map<std::string, std::uint64_t> gauge_seqs;
   for (Shard* shard : shards) {
@@ -210,8 +252,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 void MetricsRegistry::reset() {
   std::vector<Shard*> shards;
   {
-    std::lock_guard<std::mutex> lk(impl().mu);
-    for (const auto& s : impl().shards) shards.push_back(s.get());
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (const auto& s : impl_->shards) shards.push_back(s.get());
   }
   for (Shard* shard : shards) {
     std::lock_guard<std::mutex> lk(shard->mu);
@@ -278,17 +320,48 @@ void set_metrics_enabled(bool enabled) {
   metrics_flag().store(enabled, std::memory_order_relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// TelemetryScope
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local MetricsRegistry* tls_metrics = nullptr;
+thread_local TraceSession* tls_trace = nullptr;
+}  // namespace
+
+TelemetryScope::TelemetryScope(MetricsRegistry* metrics, TraceSession* trace)
+    : prev_metrics_(tls_metrics), prev_trace_(tls_trace) {
+  if (metrics != nullptr) tls_metrics = metrics;
+  if (trace != nullptr) tls_trace = trace;
+}
+
+TelemetryScope::~TelemetryScope() {
+  tls_metrics = prev_metrics_;
+  tls_trace = prev_trace_;
+}
+
+MetricsRegistry* scoped_metrics() { return tls_metrics; }
+TraceSession* scoped_trace() { return tls_trace; }
+
+MetricsRegistry& current_metrics() {
+  return tls_metrics != nullptr ? *tls_metrics : MetricsRegistry::global();
+}
+
+TraceSession& current_trace() {
+  return tls_trace != nullptr ? *tls_trace : TraceSession::global();
+}
+
 void counter_add(std::string_view name, std::uint64_t delta) {
   if (!metrics_enabled()) return;
-  MetricsRegistry::global().counter_add(name, delta);
+  current_metrics().counter_add(name, delta);
 }
 void gauge_set(std::string_view name, double value) {
   if (!metrics_enabled()) return;
-  MetricsRegistry::global().gauge_set(name, value);
+  current_metrics().gauge_set(name, value);
 }
 void histogram_record(std::string_view name, double value) {
   if (!metrics_enabled()) return;
-  MetricsRegistry::global().histogram_record(name, value);
+  current_metrics().histogram_record(name, value);
 }
 
 // ---------------------------------------------------------------------------
@@ -305,18 +378,22 @@ struct TraceSession::Lane {
 };
 
 struct TraceSession::Impl {
+  const std::uint64_t id = next_instance_id();
   std::atomic<bool> enabled{false};
   std::chrono::steady_clock::time_point epoch;
   mutable std::mutex mu;  // guards lanes vector, output path, flushed flag
   std::vector<std::unique_ptr<Lane>> lanes;
+  std::map<std::thread::id, Lane*> by_thread;
   std::uint32_t next_tid = 1;
   std::string output_path;
   bool flushed = false;
 };
 
-TraceSession::TraceSession() {
-  impl().epoch = std::chrono::steady_clock::now();
+TraceSession::TraceSession() : impl_(std::make_unique<Impl>()) {
+  impl_->epoch = std::chrono::steady_clock::now();
 }
+
+TraceSession::~TraceSession() = default;
 
 TraceSession& TraceSession::global() {
   static TraceSession* instance = new TraceSession();  // never destroyed
@@ -331,11 +408,6 @@ TraceSession& TraceSession::global() {
   return *instance;
 }
 
-TraceSession::Impl& TraceSession::impl() const {
-  static Impl* impl = new Impl();  // never destroyed
-  return *impl;
-}
-
 namespace {
 // Captured during static initialization, which runs on the process's main
 // thread — lane naming must not depend on which thread records first.
@@ -343,37 +415,44 @@ const std::thread::id g_main_thread_id = std::this_thread::get_id();
 }  // namespace
 
 TraceSession::Lane& TraceSession::local_lane() const {
-  thread_local Lane* lane = nullptr;
-  if (lane == nullptr) {
-    auto owned = std::make_unique<Lane>();
-    lane = owned.get();
-    std::lock_guard<std::mutex> lk(impl().mu);
-    lane->tid = impl().next_tid++;
-    if (std::this_thread::get_id() == g_main_thread_id) {
-      lane->thread_name = "main";
+  thread_local InstanceCache cache;
+  if (void* hit = cache.find(impl_->id)) return *static_cast<Lane*>(hit);
+  Lane* lane = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    Lane*& slot = impl_->by_thread[std::this_thread::get_id()];
+    if (slot == nullptr) {
+      auto owned = std::make_unique<Lane>();
+      owned->tid = impl_->next_tid++;
+      if (std::this_thread::get_id() == g_main_thread_id) {
+        owned->thread_name = "main";
+      }
+      slot = owned.get();  // session owns it for its lifetime
+      impl_->lanes.push_back(std::move(owned));
     }
-    impl().lanes.push_back(std::move(owned));
+    lane = slot;
   }
+  cache.remember(impl_->id, lane);
   return *lane;
 }
 
 bool TraceSession::enabled() const {
-  return impl().enabled.load(std::memory_order_relaxed);
+  return impl_->enabled.load(std::memory_order_relaxed);
 }
 
 void TraceSession::start() {
-  impl().enabled.store(true, std::memory_order_relaxed);
+  impl_->enabled.store(true, std::memory_order_relaxed);
 }
 
 void TraceSession::stop() {
-  impl().enabled.store(false, std::memory_order_relaxed);
+  impl_->enabled.store(false, std::memory_order_relaxed);
 }
 
 void TraceSession::clear() {
   std::vector<Lane*> lanes;
   {
-    std::lock_guard<std::mutex> lk(impl().mu);
-    for (const auto& l : impl().lanes) lanes.push_back(l.get());
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (const auto& l : impl_->lanes) lanes.push_back(l.get());
   }
   for (Lane* lane : lanes) {
     std::lock_guard<std::mutex> lk(lane->mu);
@@ -382,21 +461,21 @@ void TraceSession::clear() {
 }
 
 void TraceSession::set_output_path(std::string path) {
-  std::lock_guard<std::mutex> lk(impl().mu);
-  impl().output_path = std::move(path);
-  impl().flushed = false;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->output_path = std::move(path);
+  impl_->flushed = false;
 }
 
 const std::string& TraceSession::output_path() const {
   // Callers treat the returned reference as read-only and short-lived;
   // the path only changes from set_output_path (startup / tests).
-  std::lock_guard<std::mutex> lk(impl().mu);
-  return impl().output_path;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->output_path;
 }
 
 double TraceSession::now_us() const {
   return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - impl().epoch)
+             std::chrono::steady_clock::now() - impl_->epoch)
       .count();
 }
 
@@ -419,8 +498,8 @@ std::size_t TraceSession::event_count() const {
   std::size_t n = 0;
   std::vector<Lane*> lanes;
   {
-    std::lock_guard<std::mutex> lk(impl().mu);
-    for (const auto& l : impl().lanes) lanes.push_back(l.get());
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (const auto& l : impl_->lanes) lanes.push_back(l.get());
   }
   for (Lane* lane : lanes) {
     std::lock_guard<std::mutex> lk(lane->mu);
@@ -432,8 +511,8 @@ std::size_t TraceSession::event_count() const {
 std::string TraceSession::chrome_json() const {
   std::vector<Lane*> lanes;
   {
-    std::lock_guard<std::mutex> lk(impl().mu);
-    for (const auto& l : impl().lanes) lanes.push_back(l.get());
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (const auto& l : impl_->lanes) lanes.push_back(l.get());
   }
   std::ostringstream os;
   os << "{\"traceEvents\":[";
@@ -502,8 +581,8 @@ std::map<std::string, SpanAggregate> aggregate_spans(
 std::string TraceSession::summary() const {
   std::vector<Lane*> lanes;
   {
-    std::lock_guard<std::mutex> lk(impl().mu);
-    for (const auto& l : impl().lanes) lanes.push_back(l.get());
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (const auto& l : impl_->lanes) lanes.push_back(l.get());
   }
   std::vector<std::vector<TraceEvent>> per_lane;
   for (Lane* lane : lanes) {
@@ -525,8 +604,8 @@ std::string TraceSession::summary() const {
 std::string TraceSession::summary_csv() const {
   std::vector<Lane*> lanes;
   {
-    std::lock_guard<std::mutex> lk(impl().mu);
-    for (const auto& l : impl().lanes) lanes.push_back(l.get());
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (const auto& l : impl_->lanes) lanes.push_back(l.get());
   }
   std::vector<std::vector<TraceEvent>> per_lane;
   for (Lane* lane : lanes) {
@@ -548,10 +627,10 @@ std::string TraceSession::summary_csv() const {
 void TraceSession::flush() {
   std::string path;
   {
-    std::lock_guard<std::mutex> lk(impl().mu);
-    if (impl().flushed || impl().output_path.empty()) return;
-    impl().flushed = true;
-    path = impl().output_path;
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    if (impl_->flushed || impl_->output_path.empty()) return;
+    impl_->flushed = true;
+    path = impl_->output_path;
   }
   if (!write_chrome_json(path)) {
     std::fprintf(stderr, "telemetry: cannot write trace to %s\n",
@@ -568,18 +647,18 @@ void TraceSession::flush() {
 // ---------------------------------------------------------------------------
 
 TraceSpan::TraceSpan(const char* name, const char* category)
-    : active_(TraceSession::global().enabled()),
+    : session_(&current_trace()),
+      active_(session_->enabled()),
       name_(name),
       category_(category) {
-  if (active_) start_us_ = TraceSession::global().now_us();
+  if (active_) start_us_ = session_->now_us();
 }
 
 TraceSpan::~TraceSpan() {
   if (!active_) return;
-  TraceSession& session = TraceSession::global();
-  const double end_us = session.now_us();
-  session.record_complete(name_, category_, start_us_, end_us - start_us_,
-                          std::move(args_));
+  const double end_us = session_->now_us();
+  session_->record_complete(name_, category_, start_us_, end_us - start_us_,
+                            std::move(args_));
 }
 
 void TraceSpan::arg(const char* key, double value) {

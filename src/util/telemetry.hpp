@@ -1,6 +1,6 @@
 #pragma once
 /// \file telemetry.hpp
-/// Process-wide observability: a metrics registry and a span tracer.
+/// Observability: a metrics registry and a span tracer.
 ///
 /// The paper's whole argument is quantitative — per-phase wall time,
 /// forecast quality, cluster balance — so every subsystem reports into one
@@ -17,6 +17,18 @@
 ///    CSV via util/table, and (b) Chrome `trace_events` JSON that
 ///    `chrome://tracing` and https://ui.perfetto.dev load directly,
 ///    including the thread-pool worker lanes of util/parallel.
+///
+/// Both are ordinary instantiable classes; `global()` returns the
+/// process-wide default instance the free functions and `BD_TRACE` /
+/// `BD_METRICS` bootstrap use. Code that must keep several simulations'
+/// telemetry apart (core/fleet) creates one registry/session per
+/// simulation and routes the existing call sites to it with a
+/// **TelemetryScope** — a thread-local RAII override picked up by the free
+/// functions and by TraceSpan, and propagated to pool workers for the
+/// duration of each parallel job (util/parallel). Every instance owns its
+/// own shards, lanes, clock epoch and gauge write sequence, so concurrent
+/// simulations can never interleave metrics — in particular the "last
+/// write wins" gauge rule is resolved per registry, not process-wide.
 ///
 /// Capture is off by default and costs one relaxed atomic load per
 /// would-be span. Turn it on with the `BD_TRACE=out.json` environment
@@ -35,6 +47,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -76,20 +89,28 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramSnapshot> histograms;
 };
 
-/// Process-wide metrics registry. All methods are thread-safe; updates
-/// touch only the calling thread's shard (one uncontended mutex), so
-/// concurrent writers never contend with each other.
+/// Metrics registry. All methods are thread-safe; updates touch only the
+/// calling thread's shard of this instance (one uncontended mutex), so
+/// concurrent writers never contend with each other. Instances are
+/// independent: each owns its shards and its gauge write sequence.
 class MetricsRegistry {
  public:
-  /// The process-wide instance (never destroyed — safe from atexit hooks).
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide default instance (never destroyed — safe from
+  /// atexit hooks).
   static MetricsRegistry& global();
 
   /// Add `delta` to counter `name` (creates it at 0 on first use).
   void counter_add(std::string_view name, std::uint64_t delta = 1);
 
   /// Set gauge `name` to `value` (last write across all threads wins;
-  /// "last" is defined by a global write sequence, so the merge is
-  /// deterministic for a deterministic program order).
+  /// "last" is defined by this registry's write sequence, so the merge is
+  /// deterministic for a deterministic program order and independent
+  /// registries never perturb each other's gauges).
   void gauge_set(std::string_view name, double value);
 
   /// Record `value` into histogram `name`.
@@ -108,16 +129,17 @@ class MetricsRegistry {
   std::string summary_csv() const;
 
  private:
-  MetricsRegistry() = default;
   struct Shard;
   struct Impl;
-  Impl& impl() const;
   Shard& local_shard() const;
+
+  std::unique_ptr<Impl> impl_;
 };
 
-/// Convenience free functions on the global registry (these exact spellings
-/// are what tools/check_docs.sh greps for). They early-return when metric
-/// capture is disabled (see metrics_enabled).
+/// Convenience free functions on the *current* registry — the innermost
+/// TelemetryScope override on this thread, else the global instance (these
+/// exact spellings are what tools/check_docs.sh greps for). They
+/// early-return when metric capture is disabled (see metrics_enabled).
 void counter_add(std::string_view name, std::uint64_t delta = 1);
 void gauge_set(std::string_view name, double value);
 void histogram_record(std::string_view name, double value);
@@ -143,14 +165,21 @@ struct TraceEvent {
   std::string args;      ///< pre-rendered JSON object body ("" = no args)
 };
 
-/// Process-wide span capture session. Disabled by default; when disabled,
-/// spans cost one relaxed atomic load and record nothing.
+/// Span capture session. Disabled by default; when disabled, spans cost
+/// one relaxed atomic load and record nothing. Instances are independent
+/// (own lanes, own clock epoch); TraceSpan records into the innermost
+/// TelemetryScope session on the current thread, else the global one.
 class TraceSession {
  public:
-  /// The process-wide instance. First call also bootstraps from the
-  /// BD_TRACE environment variable: if set (to an output path), capture
-  /// starts immediately and an atexit hook writes the JSON file plus a
-  /// per-name summary (to stderr) when the process ends.
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The process-wide default instance. First call also bootstraps from
+  /// the BD_TRACE environment variable: if set (to an output path),
+  /// capture starts immediately and an atexit hook writes the JSON file
+  /// plus a per-name summary (to stderr) when the process ends.
   static TraceSession& global();
 
   /// Whether spans are being recorded.
@@ -205,15 +234,49 @@ class TraceSession {
   void flush();
 
  private:
-  TraceSession();
   struct Lane;
   struct Impl;
-  Impl& impl() const;
   Lane& local_lane() const;
+
+  std::unique_ptr<Impl> impl_;
 };
 
+// ---------------------------------------------------------------------------
+// Scoped injection
+// ---------------------------------------------------------------------------
+
+/// Thread-local RAII override of the registry/session the free functions
+/// and TraceSpan use. A null pointer keeps the previous target for that
+/// slot (so a scope can redirect metrics without touching tracing).
+/// Scopes nest; each destructor restores what it replaced. util/parallel
+/// snapshots the submitting thread's scope into every pool job and
+/// installs it on the participating workers, so a simulation whose
+/// telemetry is scoped stays scoped across its own parallel loops.
+class TelemetryScope {
+ public:
+  TelemetryScope(MetricsRegistry* metrics, TraceSession* trace);
+  ~TelemetryScope();
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  MetricsRegistry* prev_metrics_;
+  TraceSession* prev_trace_;
+};
+
+/// The innermost scoped override on this thread (nullptr = none).
+MetricsRegistry* scoped_metrics();
+TraceSession* scoped_trace();
+
+/// The registry/session the free functions and TraceSpan resolve to:
+/// the scoped override when one is installed, else the global instance.
+MetricsRegistry& current_metrics();
+TraceSession& current_trace();
+
 /// RAII span: records [construction, destruction) on the calling thread
-/// when the global TraceSession is enabled; a no-op otherwise. Name and
+/// when the current TraceSession (scoped else global) is enabled; a no-op
+/// otherwise. The session is resolved once at construction. Name and
 /// category must outlive the span (string literals in practice).
 class TraceSpan {
  public:
@@ -233,6 +296,7 @@ class TraceSpan {
   bool active() const { return active_; }
 
  private:
+  TraceSession* session_;  ///< resolved at construction (scoped else global)
   bool active_;
   double start_us_ = 0.0;
   const char* name_;

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "baselines/heuristic.hpp"
 #include "baselines/two_phase.hpp"
@@ -156,6 +157,43 @@ TEST_F(CheckedFileTest, TruncationFaultLeavesPreviousSnapshotIntact) {
   EXPECT_EQ(util::read_checked_file(path_, kMagic, version), payload());
 }
 
+TEST_F(CheckedFileTest, ConcurrentWritersToSamePathNeverCorrupt) {
+  // Two threads hammering the SAME destination path: per-writer tmp names
+  // (pid + sequence) keep the writes from clobbering each other's staging
+  // file, and the atomic rename guarantees the destination is always one
+  // writer's complete, CRC-valid snapshot — never a torn mix.
+  auto encode = [](std::uint64_t tag) {
+    util::BinaryWriter out;
+    out.write_string("writer payload");
+    out.write_u64(tag);
+    return std::vector<std::byte>(out.payload().begin(),
+                                  out.payload().end());
+  };
+  constexpr int kRounds = 25;
+  auto writer = [&](std::uint64_t tag) {
+    for (int k = 0; k < kRounds; ++k) {
+      util::write_checked_file(path_, kMagic, 1, encode(tag));
+    }
+  };
+  std::thread a(writer, 1);
+  std::thread b(writer, 2);
+  a.join();
+  b.join();
+
+  std::uint32_t version = 0;
+  const std::vector<std::byte> final =
+      util::read_checked_file(path_, kMagic, version);
+  EXPECT_TRUE(final == encode(1) || final == encode(2));
+  // No staging files left behind.
+  const auto dir = std::filesystem::path(path_).parent_path();
+  const auto stem = std::filesystem::path(path_).filename().string();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(stem + ".tmp"), std::string::npos)
+        << "stray staging file: " << name;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Full-simulation checkpointing
 // ---------------------------------------------------------------------------
@@ -261,6 +299,46 @@ TEST_F(CheckpointTest, RestoreRejectsMissingFile) {
   EXPECT_THROW(
       core::restore_checkpoint(*sim, ::testing::TempDir() + "no_such.ckpt"),
       bd::CheckError);
+}
+
+TEST_F(CheckpointTest, ConcurrentSimsCheckpointIntoSameDirectory) {
+  // Two simulations saving side by side into one directory (the fleet
+  // spool shape): before tmp names carried a per-process/per-write suffix
+  // both writers staged to "<path>.tmp" and could rename each other's
+  // half-written file into place. Each checkpoint must restore to its own
+  // simulation afterwards.
+  const std::string path_a = ::testing::TempDir() + "bd_ckpt_dir_a.ckpt";
+  const std::string path_b = ::testing::TempDir() + "bd_ckpt_dir_b.ckpt";
+
+  auto sim_a = make_sim();
+  auto sim_b = make_sim();
+  sim_a->initialize();
+  sim_b->initialize();
+  sim_a->run(2);
+  sim_b->run(3);
+
+  constexpr int kRounds = 10;
+  std::thread ta([&] {
+    for (int k = 0; k < kRounds; ++k) core::save_checkpoint(*sim_a, path_a);
+  });
+  std::thread tb([&] {
+    for (int k = 0; k < kRounds; ++k) core::save_checkpoint(*sim_b, path_b);
+  });
+  ta.join();
+  tb.join();
+
+  auto restored_a = make_sim();
+  auto restored_b = make_sim();
+  core::restore_checkpoint(*restored_a, path_a);
+  core::restore_checkpoint(*restored_b, path_b);
+  EXPECT_EQ(restored_a->current_step(), 2);
+  EXPECT_EQ(restored_b->current_step(), 3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(restored_a->particles().s()[i], sim_a->particles().s()[i]);
+    ASSERT_EQ(restored_b->particles().s()[i], sim_b->particles().s()[i]);
+  }
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
 }
 
 TEST_F(CheckpointTest, PeriodicOverwriteKeepsLatestSnapshot) {

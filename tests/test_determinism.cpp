@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/checkpoint.hpp"
+#include "core/fleet.hpp"
 #include "core/predictive.hpp"
 #include "core/simulation.hpp"
 #include "core/solver_scratch.hpp"
@@ -278,6 +279,99 @@ TEST(Determinism, ScratchStopsGrowingAfterWarmup) {
   EXPECT_EQ(steady.count("rp.scratch_grows"), 0u);
   EXPECT_GT(steady["rp.scratch_reuses"], 0u);
   registry.reset();
+}
+
+/// Solo reference for FleetMatchesSoloBitwise: run one simulation alone
+/// and keep every step's stats.
+std::vector<core::StepStats> run_solo(std::uint64_t seed, std::size_t steps) {
+  core::SimConfig config;
+  config.particles = 4000;
+  config.nx = 16;
+  config.ny = 16;
+  config.tolerance = 1e-5;
+  config.rigid = false;
+  config.seed = seed;
+  core::Simulation sim(
+      config, std::make_unique<core::PredictiveSolver>(simt::tesla_k40()));
+  sim.initialize();
+  return sim.run(steps);
+}
+
+TEST(Determinism, FleetMatchesSoloBitwise) {
+  // The concurrency-corruption regression, end to end: N simulations
+  // interleaved through the fleet (job-private telemetry/fault scopes,
+  // lanes hopping threads between quanta) must reproduce each solo run
+  // bit-for-bit — physics AND SIMT cache metrics — at any thread count.
+  // Each quantum runs nested-serially on one pool thread, so PR 2's
+  // thread-count determinism carries over to fleet scheduling.
+  constexpr std::size_t kSims = 3;
+  constexpr std::size_t kSteps = 4;
+  const std::uint64_t seeds[kSims] = {1, 2, 3};
+
+  util::ThreadPool::set_global_threads(1);
+  std::vector<core::StepStats> solo[kSims];
+  for (std::size_t i = 0; i < kSims; ++i) {
+    solo[i] = run_solo(seeds[i], kSteps);
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    util::ThreadPool::set_global_threads(threads);
+    std::vector<core::StepStats> fleet_stats[kSims];
+    {
+      core::FleetOptions options;
+      options.quantum_steps = 2;  // interleave: two scheduling rounds/job
+      core::SimulationFleet fleet(options);
+      for (std::size_t i = 0; i < kSims; ++i) {
+        core::FleetJobSpec spec;
+        spec.name = "sim" + std::to_string(i);
+        const std::uint64_t seed = seeds[i];
+        spec.factory = [seed] {
+          core::SimConfig config;
+          config.particles = 4000;
+          config.nx = 16;
+          config.ny = 16;
+          config.tolerance = 1e-5;
+          config.rigid = false;
+          config.seed = seed;
+          return std::make_unique<core::Simulation>(
+              config,
+              std::make_unique<core::PredictiveSolver>(simt::tesla_k40()));
+        };
+        spec.target_steps = kSteps;
+        // One lane owns the job per quantum and ownership is handed off
+        // under the fleet mutex, so the capture needs no extra locking.
+        auto* capture = &fleet_stats[i];
+        spec.on_step = [capture](const core::StepStats& stats) {
+          capture->push_back(stats);
+        };
+        fleet.submit(std::move(spec));
+      }
+      fleet.wait_all();
+    }
+
+    for (std::size_t i = 0; i < kSims; ++i) {
+      ASSERT_EQ(fleet_stats[i].size(), kSteps)
+          << "sim " << i << " at " << threads << " threads";
+      for (std::size_t k = 0; k < kSteps; ++k) {
+        const core::SolveResult& a = solo[i][k].longitudinal;
+        const core::SolveResult& b = fleet_stats[i][k].longitudinal;
+        expect_identical(a.metrics, b.metrics);
+        EXPECT_EQ(a.fallback_items, b.fallback_items);
+        EXPECT_EQ(a.kernel_intervals, b.kernel_intervals);
+        ASSERT_EQ(a.values.data().size(), b.values.data().size());
+        for (std::size_t n = 0; n < a.values.data().size(); ++n) {
+          ASSERT_EQ(a.values.data()[n], b.values.data()[n])
+              << "sim " << i << " step " << k << " node " << n << " at "
+              << threads << " threads";
+          ASSERT_EQ(a.errors.data()[n], b.errors.data()[n])
+              << "sim " << i << " step " << k << " node " << n;
+        }
+        EXPECT_EQ(core::fleet_digest_step(solo[i][k], 0u),
+                  core::fleet_digest_step(fleet_stats[i][k], 0u));
+      }
+    }
+  }
+  util::ThreadPool::set_global_threads(0);
 }
 
 TEST(Determinism, TelemetryCaptureDoesNotPerturbMetrics) {

@@ -1,0 +1,334 @@
+/// SimulationFleet: submit/poll/cancel lifecycle, failure containment,
+/// per-job telemetry and fault-harness isolation, eviction + resume
+/// digest identity, and resume-on-submit from a pre-existing spool file.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "baselines/heuristic.hpp"
+#include "baselines/two_phase.hpp"
+#include "core/checkpoint.hpp"
+#include "core/fleet.hpp"
+#include "core/predictive.hpp"
+#include "core/simulation.hpp"
+#include "simt/device.hpp"
+#include "util/check.hpp"
+#include "util/faultinject.hpp"
+#include "util/parallel.hpp"
+#include "util/telemetry.hpp"
+
+namespace bd {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::SimConfig fleet_config(std::uint64_t seed,
+                             bool health_checks = false) {
+  core::SimConfig config;
+  config.particles = 2000;
+  config.nx = 16;
+  config.ny = 16;
+  config.tolerance = 1e-5;
+  config.rigid = false;
+  config.seed = seed;
+  config.health_checks = health_checks;
+  return config;
+}
+
+std::unique_ptr<core::Simulation> build_sim(std::uint64_t seed,
+                                            bool health_checks = false) {
+  auto sim = std::make_unique<core::Simulation>(
+      fleet_config(seed, health_checks),
+      std::make_unique<core::PredictiveSolver>(simt::tesla_k40()));
+  if (health_checks) {
+    sim->add_fallback_solver(
+        std::make_unique<baselines::HeuristicSolver>(simt::tesla_k40()));
+    sim->add_fallback_solver(
+        std::make_unique<baselines::TwoPhaseSolver>(simt::tesla_k40()));
+  }
+  return sim;
+}
+
+core::FleetJobSpec job_spec(const std::string& name, std::uint64_t seed,
+                            std::size_t target_steps) {
+  core::FleetJobSpec spec;
+  spec.name = name;
+  spec.factory = [seed] { return build_sim(seed); };
+  spec.target_steps = target_steps;
+  return spec;
+}
+
+/// Scratch directory for spool files, wiped on teardown.
+class FleetSpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("bd_fleet_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Fleet, SubmitValidatesSpecs) {
+  core::SimulationFleet fleet;
+  EXPECT_THROW(fleet.submit(job_spec("", 1, 4)), bd::CheckError);
+  EXPECT_THROW(fleet.submit(job_spec("a/b", 1, 4)), bd::CheckError);
+  EXPECT_THROW(fleet.submit(job_spec("no-steps", 1, 0)), bd::CheckError);
+  core::FleetJobSpec no_factory;
+  no_factory.name = "no-factory";
+  no_factory.target_steps = 4;
+  EXPECT_THROW(fleet.submit(no_factory), bd::CheckError);
+
+  const auto id = fleet.submit(job_spec("ok", 1, 2));
+  EXPECT_THROW(fleet.submit(job_spec("ok", 2, 2)), bd::CheckError);
+  EXPECT_EQ(fleet.job_count(), 1u);
+  const core::FleetJobStatus status = fleet.wait(id);
+  EXPECT_EQ(status.state, core::FleetJobState::kDone);
+}
+
+TEST(Fleet, JobsRunToCompletion) {
+  core::FleetOptions options;
+  options.quantum_steps = 2;
+  core::SimulationFleet fleet(options);
+  const auto a = fleet.submit(job_spec("a", 11, 5));
+  const auto b = fleet.submit(job_spec("b", 22, 3));
+  fleet.wait_all();
+
+  const core::FleetJobStatus sa = fleet.poll(a);
+  const core::FleetJobStatus sb = fleet.poll(b);
+  EXPECT_EQ(sa.state, core::FleetJobState::kDone);
+  EXPECT_EQ(sa.steps_done, 5u);
+  EXPECT_EQ(sa.target_steps, 5u);
+  EXPECT_NE(sa.digest, 0u);
+  EXPECT_TRUE(sa.error.empty());
+  EXPECT_EQ(sb.state, core::FleetJobState::kDone);
+  EXPECT_EQ(sb.steps_done, 3u);
+  // Different seeds walk different trajectories.
+  EXPECT_NE(sa.digest, sb.digest);
+  EXPECT_THROW(fleet.poll(99), bd::CheckError);
+}
+
+TEST(Fleet, SameSpecSameDigest) {
+  core::SimulationFleet fleet;
+  const auto a = fleet.submit(job_spec("a", 7, 4));
+  const auto b = fleet.submit(job_spec("b", 7, 4));
+  fleet.wait_all();
+  // Identical configs on isolated jobs are bit-identical regardless of
+  // which lane/thread ran them — the concurrency-corruption regression.
+  EXPECT_EQ(fleet.poll(a).digest, fleet.poll(b).digest);
+}
+
+TEST(Fleet, CancelSemantics) {
+  // One giant quantum keeps the first job kRunning while the second sits
+  // queued behind it (single lane is enough: lanes drain in FIFO order).
+  core::FleetOptions options;
+  options.quantum_steps = 100000;
+  core::SimulationFleet fleet(options);
+  const auto running = fleet.submit(job_spec("running", 1, 100000));
+  const auto queued = fleet.submit(job_spec("queued", 2, 100000));
+
+  EXPECT_TRUE(fleet.cancel(queued));
+  const core::FleetJobStatus qs = fleet.wait(queued);
+  EXPECT_EQ(qs.state, core::FleetJobState::kCancelled);
+  EXPECT_EQ(qs.steps_done, 0u);
+  EXPECT_FALSE(fleet.cancel(queued));  // already terminal
+
+  // Cancel the first job only once it is provably mid-quantum: the lane
+  // must notice the flag at the next step boundary.
+  while (fleet.poll(running).steps_done == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fleet.cancel(running));
+  const core::FleetJobStatus rs = fleet.wait(running);
+  EXPECT_EQ(rs.state, core::FleetJobState::kCancelled);
+  EXPECT_GE(rs.steps_done, 1u);
+  EXPECT_LT(rs.steps_done, 100000u);
+  EXPECT_FALSE(fleet.cancel(running));
+}
+
+TEST(Fleet, DestructorCancelsOutstandingJobs) {
+  // The dtor must cancel a mid-quantum job at its next step boundary and
+  // join without deadlock.
+  core::FleetOptions options;
+  options.quantum_steps = 100000;
+  core::SimulationFleet fleet(options);
+  const auto id = fleet.submit(job_spec("long", 3, 100000));
+  while (fleet.poll(id).steps_done == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(Fleet, FailureIsContained) {
+  core::SimulationFleet fleet;
+  core::FleetJobSpec bad;
+  bad.name = "bad";
+  bad.factory = [] { return std::unique_ptr<core::Simulation>(); };
+  bad.target_steps = 4;
+  const auto bad_id = fleet.submit(std::move(bad));
+  const auto good_id = fleet.submit(job_spec("good", 5, 3));
+  fleet.wait_all();
+
+  const core::FleetJobStatus bs = fleet.poll(bad_id);
+  EXPECT_EQ(bs.state, core::FleetJobState::kFailed);
+  EXPECT_NE(bs.error.find("factory returned null"), std::string::npos)
+      << bs.error;
+  EXPECT_EQ(fleet.poll(good_id).state, core::FleetJobState::kDone);
+}
+
+// ---------------------------------------------------------------------------
+// Isolation
+// ---------------------------------------------------------------------------
+
+TEST(Fleet, PerJobMetricsAreIsolated) {
+  using util::telemetry::MetricsRegistry;
+  MetricsRegistry::global().reset();
+
+  core::SimulationFleet fleet;
+  const auto a = fleet.submit(job_spec("a", 1, 4));
+  const auto b = fleet.submit(job_spec("b", 2, 7));
+  fleet.wait_all();
+
+  const auto sa = fleet.job_metrics(a);
+  const auto sb = fleet.job_metrics(b);
+  EXPECT_EQ(sa.counters.at("sim.steps"), 4u);
+  EXPECT_EQ(sb.counters.at("sim.steps"), 7u);
+  // Nothing leaked into the process-global registry: it holds fleet.* and
+  // pool.* bookkeeping, never a job's sim.* stream.
+  const auto global = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(global.counters.count("sim.steps"), 0u);
+  EXPECT_EQ(global.counters.at("fleet.completed"), 2u);
+  EXPECT_EQ(global.counters.at("fleet.submitted"), 2u);
+  MetricsRegistry::global().reset();
+}
+
+TEST(Fleet, PerJobFaultHarnessesAreIsolated) {
+  util::faultinject::clear();  // default harness must stay untouched
+
+  core::SimulationFleet fleet;
+  core::FleetJobSpec faulty = job_spec("faulty", 9, 5);
+  faulty.factory = [] { return build_sim(9, /*health_checks=*/true); };
+  faulty.fault_spec = "grid_nan@2:1";
+  const auto faulty_id = fleet.submit(std::move(faulty));
+  const auto clean_id = fleet.submit(job_spec("clean", 10, 5));
+  fleet.wait_all();
+
+  EXPECT_EQ(fleet.poll(faulty_id).state, core::FleetJobState::kDone);
+  EXPECT_EQ(fleet.poll(clean_id).state, core::FleetJobState::kDone);
+  // The injection fired inside the faulty job's scope only.
+  const auto faulty_metrics = fleet.job_metrics(faulty_id);
+  const auto clean_metrics = fleet.job_metrics(clean_id);
+  EXPECT_EQ(faulty_metrics.counters.at("faultinject.injections"), 1u);
+  EXPECT_EQ(clean_metrics.counters.count("faultinject.injections"), 0u);
+  // ...and never consumed budget from the process-default harness.
+  EXPECT_EQ(util::faultinject::fired_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Eviction + resume
+// ---------------------------------------------------------------------------
+
+TEST_F(FleetSpoolTest, EvictionPreservesDigests) {
+  using util::telemetry::MetricsRegistry;
+  constexpr std::size_t kJobs = 3;
+  constexpr std::size_t kSteps = 6;
+
+  // Reference digests: an unconstrained fleet where every sim stays
+  // resident from first to last step.
+  std::uint32_t reference[kJobs] = {};
+  {
+    core::SimulationFleet fleet;
+    core::SimulationFleet::JobId ids[kJobs];
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      ids[i] = fleet.submit(job_spec("job" + std::to_string(i),
+                                     100 + i, kSteps));
+    }
+    fleet.wait_all();
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      reference[i] = fleet.poll(ids[i]).digest;
+    }
+  }
+
+  MetricsRegistry::global().reset();
+  {
+    core::FleetOptions options;
+    options.max_resident = 1;
+    options.spool_dir = dir_;
+    options.quantum_steps = 2;
+    core::SimulationFleet fleet(options);
+    core::SimulationFleet::JobId ids[kJobs];
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      ids[i] = fleet.submit(job_spec("job" + std::to_string(i),
+                                     100 + i, kSteps));
+    }
+    fleet.wait_all();
+    const auto global = MetricsRegistry::global().snapshot();
+    EXPECT_GT(global.counters.at("fleet.evictions"), 0u);
+    EXPECT_EQ(global.counters.at("fleet.evictions"),
+              global.counters.at("fleet.resumes"));
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      const core::FleetJobStatus status = fleet.poll(ids[i]);
+      EXPECT_EQ(status.state, core::FleetJobState::kDone);
+      EXPECT_EQ(status.steps_done, kSteps);
+      // The physics digest chains straight across evict/resume cycles.
+      EXPECT_EQ(status.digest, reference[i]) << "job " << i;
+      // Completed jobs leave no spool file behind.
+      EXPECT_FALSE(
+          fs::exists(dir_ + "/job" + std::to_string(i) + ".ckpt"));
+    }
+  }
+  MetricsRegistry::global().reset();
+}
+
+TEST_F(FleetSpoolTest, ResumesFromPreexistingSpoolFile) {
+  constexpr std::size_t kTarget = 6;
+  constexpr std::size_t kPrefix = 2;
+
+  // A prior process ran the scenario for two steps and spooled it.
+  auto sim = build_sim(42);
+  sim->initialize();
+  sim->run(kPrefix);
+  const std::string spool = dir_ + "/warm.ckpt";
+  core::save_checkpoint(*sim, spool);
+
+  // Expected digest of the *resumed* steps, chained from zero (the fresh
+  // job starts with an empty digest; only post-resume steps contribute).
+  std::uint32_t expected = 0;
+  {
+    auto replay = build_sim(42);
+    core::restore_checkpoint(*replay, spool);
+    for (std::size_t i = kPrefix; i < kTarget; ++i) {
+      expected = core::fleet_digest_step(replay->step(), expected);
+    }
+  }
+
+  core::FleetOptions options;
+  options.spool_dir = dir_;
+  core::SimulationFleet fleet(options);
+  const auto id = fleet.submit(job_spec("warm", 42, kTarget));
+  const core::FleetJobStatus status = fleet.wait(id);
+  EXPECT_EQ(status.state, core::FleetJobState::kDone);
+  EXPECT_EQ(status.steps_done, kTarget);
+  EXPECT_EQ(status.digest, expected);
+  // The sim stepped only kTarget - kPrefix times inside the fleet.
+  EXPECT_EQ(fleet.job_metrics(id).counters.at("sim.steps"),
+            kTarget - kPrefix);
+}
+
+}  // namespace
+}  // namespace bd

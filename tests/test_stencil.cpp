@@ -90,17 +90,27 @@ TEST(Stencil, IssuesNineRowLoadsInBounds) {
   }
 }
 
-TEST(Stencil, LoadAddressesPointIntoHistoryBuffer) {
+TEST(Stencil, LoadAddressesPointIntoHistoryWindow) {
+  // Probed addresses live in the history's device-virtual window (fixed
+  // base + in-buffer offset), not at the host allocation: identically
+  // configured histories replay identical addresses wherever the host
+  // allocator placed them (the fleet-vs-solo metrics contract).
   const GridHistory history = linear_history(1.0, 0.0, 0.0, 0.0, 5, 5);
   simt::LaneTrace trace;
   sample_spacetime(history, kChannelRho, 0.0, 0.0, 4.5, trace);
-  const auto lo = reinterpret_cast<std::uint64_t>(history.plane(1, kChannelRho));
+  const auto lo = reinterpret_cast<std::uint64_t>(
+      history.probe_address(history.plane(1, kChannelRho)));
   const std::uint64_t hi =
       lo + history.footprint_bytes();  // conservative bound
   for (const auto& load : trace.loads()) {
     EXPECT_GE(load.addr + 24, lo);
     EXPECT_LT(load.addr, hi);
   }
+  // And the window is allocation-independent: a second identical history
+  // maps its plane base to the same virtual address.
+  const GridHistory twin = linear_history(1.0, 0.0, 0.0, 0.0, 5, 5);
+  EXPECT_EQ(twin.probe_address(twin.plane(1, kChannelRho)),
+            history.probe_address(history.plane(1, kChannelRho)));
 }
 
 TEST(Stencil, ClampsTimeNearHistoryEdges) {

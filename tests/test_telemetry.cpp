@@ -444,6 +444,133 @@ TEST(TraceSession, SummaryAggregatesPerName) {
   session.clear();
 }
 
+// ---------------------------------------------------------------------------
+// Instance independence + TelemetryScope
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, InstancesAreIndependent) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter_add("t.inst.counter", 2);
+  b.counter_add("t.inst.counter", 40);
+  // The "last write wins" gauge rule resolves per registry: b writing
+  // later (process-wide) must not override a's own last write.
+  a.gauge_set("t.inst.gauge", 1.0);
+  b.gauge_set("t.inst.gauge", 99.0);
+  a.gauge_set("t.inst.gauge", 2.0);
+  b.gauge_set("t.inst.gauge", 98.0);
+
+  const MetricsSnapshot sa = a.snapshot();
+  const MetricsSnapshot sb = b.snapshot();
+  EXPECT_EQ(sa.counters.at("t.inst.counter"), 2u);
+  EXPECT_EQ(sb.counters.at("t.inst.counter"), 40u);
+  EXPECT_EQ(sa.gauges.at("t.inst.gauge"), 2.0);
+  EXPECT_EQ(sb.gauges.at("t.inst.gauge"), 98.0);
+
+  a.reset();
+  EXPECT_EQ(a.snapshot().counters.count("t.inst.counter"), 0u);
+  EXPECT_EQ(b.snapshot().counters.at("t.inst.counter"), 40u);
+}
+
+TEST(TelemetryScope, RoutesFreeFunctionsAndRestores) {
+  MetricsRegistry local;
+  MetricsRegistry& global = MetricsRegistry::global();
+  global.reset();
+  counter_add("t.scope.out");
+  {
+    TelemetryScope scope(&local, nullptr);
+    EXPECT_EQ(scoped_metrics(), &local);
+    EXPECT_EQ(&current_metrics(), &local);
+    counter_add("t.scope.in", 3);
+  }
+  EXPECT_EQ(scoped_metrics(), nullptr);
+  EXPECT_EQ(&current_metrics(), &global);
+  counter_add("t.scope.out");
+
+  const MetricsSnapshot inner = local.snapshot();
+  const MetricsSnapshot outer = global.snapshot();
+  EXPECT_EQ(inner.counters.at("t.scope.in"), 3u);
+  EXPECT_EQ(inner.counters.count("t.scope.out"), 0u);
+  EXPECT_EQ(outer.counters.at("t.scope.out"), 2u);
+  EXPECT_EQ(outer.counters.count("t.scope.in"), 0u);
+  global.reset();
+}
+
+TEST(TelemetryScope, ScopesNestAndNullKeepsPreviousTarget) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  {
+    TelemetryScope sa(&a, nullptr);
+    {
+      TelemetryScope keep(nullptr, nullptr);  // null = keep routing to a
+      counter_add("t.nest.x");
+      {
+        TelemetryScope sb(&b, nullptr);
+        counter_add("t.nest.y");
+      }
+      counter_add("t.nest.x");
+    }
+  }
+  EXPECT_EQ(a.snapshot().counters.at("t.nest.x"), 2u);
+  EXPECT_EQ(a.snapshot().counters.count("t.nest.y"), 0u);
+  EXPECT_EQ(b.snapshot().counters.at("t.nest.y"), 1u);
+}
+
+TEST(TelemetryScope, PropagatesToPoolWorkers) {
+  MetricsRegistry local;
+  MetricsRegistry& global = MetricsRegistry::global();
+  global.reset();
+  ThreadPool::set_global_threads(4);
+  {
+    TelemetryScope scope(&local, nullptr);
+    parallel_for(0, 20000,
+                 [](std::size_t) { counter_add("t.scope.pool"); });
+  }
+  ThreadPool::set_global_threads(0);
+  // Every worker update landed in the scoped registry, none in the global
+  // one — the pool snapshots the submitting thread's scope into the job.
+  EXPECT_EQ(local.snapshot().counters.at("t.scope.pool"), 20000u);
+  EXPECT_EQ(global.snapshot().counters.count("t.scope.pool"), 0u);
+  global.reset();
+}
+
+TEST(TraceSession, InstancesRecordIndependently) {
+  TraceSession a;
+  TraceSession b;
+  a.start();
+  b.start();
+  {
+    TelemetryScope scope(nullptr, &a);
+    TraceSpan span("t.inst.a", "test");
+  }
+  {
+    TelemetryScope scope(nullptr, &b);
+    TraceSpan span("t.inst.b", "test");
+  }
+  a.stop();
+  b.stop();
+  EXPECT_EQ(a.event_count(), 1u);
+  EXPECT_EQ(b.event_count(), 1u);
+  EXPECT_NE(a.chrome_json().find("t.inst.a"), std::string::npos);
+  EXPECT_EQ(a.chrome_json().find("t.inst.b"), std::string::npos);
+  EXPECT_NE(b.chrome_json().find("t.inst.b"), std::string::npos);
+}
+
+TEST(TraceSession, SpanResolvesSessionAtConstruction) {
+  // A span constructed inside a scope must record into that session even
+  // if the scope ends before the span does.
+  TraceSession local;
+  local.start();
+  std::unique_ptr<TraceSpan> span;
+  {
+    TelemetryScope scope(nullptr, &local);
+    span = std::make_unique<TraceSpan>("t.resolve", "test");
+  }
+  span.reset();  // destroyed outside the scope
+  local.stop();
+  EXPECT_EQ(local.event_count(), 1u);
+}
+
 TEST(TraceSession, WriteChromeJsonProducesAFile) {
   TraceSession& session = TraceSession::global();
   session.clear();

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, then a ThreadSanitizer
 # pass over the concurrency-sensitive tests (thread pool, SIMT executor,
-# rp-kernels/solvers, deposition, k-means) with an oversubscribed pool
+# rp-kernels/solvers, deposition, k-means, telemetry scopes, checkpoint
+# writers, the simulation fleet) with an oversubscribed pool
 # (BD_NUM_THREADS=8) so cross-thread interleavings actually happen.
 #
 # An ASan+UBSan stage reruns the whole suite under AddressSanitizer +
@@ -18,6 +19,9 @@
 # the gate catches real regressions: > 2% more integrand evaluations than
 # the baseline, a solver saving < 25% vs the naive engine, or the scratch
 # arena allocating after warm-up on the rigid steady-state workload.
+# It also runs bench_fleet against tools/perf_baseline_fleet.json: the
+# fleet-vs-solo digest (determinism) gate always applies; the aggregate
+# speedup floor only engages on machines with enough hardware threads.
 #
 # Usage: tools/ci.sh [tier1|tsan|asan|docs|perf-smoke|all]   (default: all)
 set -euo pipefail
@@ -37,7 +41,8 @@ tsan() {
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)" --target \
     test_parallel test_determinism test_executor test_rp_kernels \
-    test_solvers test_deposit test_kmeans
+    test_solvers test_deposit test_kmeans test_telemetry test_checkpoint \
+    test_fleet
   ctest --preset tsan -j 1
 }
 
@@ -60,6 +65,10 @@ perf_smoke() {
   ./build/bench/bench_rp_eval \
     --json=BENCH_rp_eval.json \
     --check-baseline=tools/perf_baseline_rp_eval.json
+  cmake --build --preset default -j "$(nproc)" --target bench_fleet
+  ./build/bench/bench_fleet \
+    --json=BENCH_fleet.json \
+    --check-baseline=tools/perf_baseline_fleet.json
 }
 
 case "$stage" in
