@@ -1,16 +1,34 @@
-/// Wall-clock scaling of the host-side SIMT executor: one Predictive-RP
-/// scenario run at 1/2/4/N pool threads. The dominant cost of every step is
-/// lane execution inside COMPUTE-RP-INTEGRAL and the adaptive fallback
-/// (executor pass 1), which parallelizes over blocks; forecasting and
-/// clustering also run on the pool. Results — and every KernelMetrics
-/// counter — are bit-for-bit identical across thread counts (see
-/// tests/test_determinism.cpp); only the host wall clock moves.
+/// Wall-clock scaling of the host-side SIMT executor, two phases:
+///
+///  1. **Solver scaling** — one Predictive-RP scenario run at 1/2/4/N pool
+///     threads. The dominant cost of every step is lane execution inside
+///     COMPUTE-RP-INTEGRAL and the adaptive fallback (executor pass 1),
+///     which parallelizes over blocks; forecasting and clustering also run
+///     on the pool. Results — and every KernelMetrics counter — are
+///     bit-for-bit identical across thread counts (see
+///     tests/test_determinism.cpp); only the host wall clock moves.
+///
+///  2. **Sharded cache replay** — executor pass 2 in isolation: a
+///     deterministic synthetic warp workload (per-SM replay streams) is
+///     replayed through per-SM L1s on the pool, then merged SM-major
+///     through the shared L2, at the same thread counts. Every cache
+///     counter is checked bitwise against the 1-thread replay; any drift
+///     fails the run regardless of flags.
 ///
 /// Emits BENCH_scaling.json: per thread count, host seconds per phase and
-/// the speedup of the compute-rp-integral phase over the 1-thread run.
+/// the speedups over the 1-thread run. With
+/// `--check-baseline=tools/perf_baseline_scaling.json` the run also
+/// enforces the replay-scaling floor: the 1→4-thread replay speedup must
+/// reach `min_replay_speedup_pct` — but only on machines with at least
+/// `min_hardware_threads` hardware threads (replay scaling needs real
+/// cores; the determinism gate always applies).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,7 +36,11 @@
 #include "beam/history.hpp"
 #include "beam/units.hpp"
 #include "core/predictive.hpp"
+#include "simt/cache.hpp"
 #include "simt/device.hpp"
+#include "simt/metrics.hpp"
+#include "simt/warp.hpp"
+#include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -95,9 +117,148 @@ PhaseSeconds run_at(unsigned threads, std::size_t steps) {
   return acc;
 }
 
+// ---- phase 2: sharded cache replay ---------------------------------------
+
+/// Deterministic synthetic warp workload for executor pass 2: per-SM
+/// replay streams mixing strided sweeps (coalesced, cache-friendly) with
+/// LCG-scattered lines (thrashy), so both L1 and L2 do real work.
+struct ReplayWorkload {
+  simt::DeviceSpec spec;
+  /// streams[sm] — the warps resident on that SM, replay order.
+  std::vector<std::vector<simt::WarpReplay>> streams;
+
+  explicit ReplayWorkload(std::size_t warps_per_sm,
+                          std::size_t instructions_per_warp)
+      : spec(simt::tesla_k40()), streams(spec.num_sms) {
+    std::uint64_t lcg = 0x243f6a8885a308d3ull;  // fixed seed: deterministic
+    const std::uint64_t line = spec.l1_line_bytes;
+    for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
+      streams[sm].reserve(warps_per_sm);
+      for (std::size_t w = 0; w < warps_per_sm; ++w) {
+        simt::WarpReplay replay;
+        replay.instructions.reserve(instructions_per_warp);
+        // Each warp sweeps its own window; every 4th instruction scatters.
+        const std::uint64_t base = (sm * warps_per_sm + w) * 512 * line;
+        for (std::size_t i = 0; i < instructions_per_warp; ++i) {
+          std::vector<std::uint64_t> lines;
+          if (i % 4 == 3) {
+            for (int k = 0; k < 8; ++k) {
+              lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+              lines.push_back(((lcg >> 20) % (1u << 16)) * line);
+            }
+          } else {
+            for (int k = 0; k < 4; ++k) {
+              lines.push_back(base + (i * 4 + k) * line);
+            }
+          }
+          replay.instructions.push_back(std::move(lines));
+        }
+        streams[sm].push_back(std::move(replay));
+      }
+    }
+  }
+};
+
+/// Executor pass 2 on the workload at the current pool width: per-SM L1
+/// replay in parallel (recording miss lines), then the serial SM-major L2
+/// merge. Mirrors simt::launch exactly (src/simt/executor.cpp).
+simt::KernelMetrics replay_once(const ReplayWorkload& work) {
+  struct SmShard {
+    simt::KernelMetrics partial;
+    std::vector<std::uint64_t> l2_misses;
+  };
+  const simt::DeviceSpec& spec = work.spec;
+  std::vector<SmShard> shards(spec.num_sms);
+  util::parallel_for(0, spec.num_sms, [&](std::size_t sm) {
+    SmShard& shard = shards[sm];
+    simt::SetAssocCache l1(spec.l1_bytes, spec.l1_line_bytes, spec.l1_ways);
+    // replay_interleaved_l1 only reads the streams; reuse across runs.
+    auto& replays =
+        const_cast<std::vector<simt::WarpReplay>&>(work.streams[sm]);
+    simt::replay_interleaved_l1(replays, spec, l1, shard.partial,
+                                shard.l2_misses);
+  });
+  simt::KernelMetrics metrics;
+  metrics.warp_size = spec.warp_size;
+  simt::SetAssocCache l2(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways);
+  for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
+    metrics += shards[sm].partial;
+    simt::replay_l2_lines(shards[sm].l2_misses, spec, l2, metrics);
+  }
+  return metrics;
+}
+
+/// Cache counters that must be bitwise identical across thread counts.
+bool same_counters(const simt::KernelMetrics& a,
+                   const simt::KernelMetrics& b) {
+  return a.l1.hits == b.l1.hits && a.l1.misses == b.l1.misses &&
+         a.l2.hits == b.l2.hits && a.l2.misses == b.l2.misses &&
+         a.dram_bytes == b.dram_bytes;
+}
+
+struct ReplayResult {
+  double seconds = 0.0;  ///< best-of-reps replay wall
+  simt::KernelMetrics metrics;
+};
+
+ReplayResult replay_at(unsigned threads, const ReplayWorkload& work,
+                       std::size_t reps) {
+  util::ThreadPool::set_global_threads(threads);
+  ReplayResult out;
+  out.seconds = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    util::WallTimer timer;
+    out.metrics = replay_once(work);
+    out.seconds = std::min(out.seconds, timer.seconds());
+  }
+  return out;
+}
+
+/// Fixed-schema scan (bench_fleet idiom): the integer following a
+/// top-level `"<key>":`; -1 when missing.
+long long baseline_value(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + at + needle.size(), nullptr, 10);
+}
+
+std::string read_file(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return text;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::ArgParser args("bench_scaling",
+                       "SIMT executor thread scaling: solver + cache replay");
+  args.add_int("steps", 4, "phase-1 solver steps (bootstrap + predictive)");
+  args.add_int("replay-warps", 96, "phase-2 warps per SM");
+  args.add_int("replay-instructions", 256, "phase-2 instructions per warp");
+  args.add_int("replay-reps", 3, "phase-2 timed repetitions (best-of)");
+  args.add_string("json", "BENCH_scaling.json", "JSON output path");
+  args.add_string("check-baseline", "",
+                  "baseline JSON; exit 1 on replay-determinism violation or "
+                  "(with enough cores) below the replay speedup floor");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto steps = static_cast<std::size_t>(args.get_int("steps"));
+  const auto replay_warps =
+      static_cast<std::size_t>(args.get_int("replay-warps"));
+  const auto replay_instr =
+      static_cast<std::size_t>(args.get_int("replay-instructions"));
+  const auto replay_reps =
+      static_cast<std::size_t>(args.get_int("replay-reps"));
+
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<unsigned> counts{1, 2, 4};
   if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
@@ -105,17 +266,15 @@ int main() {
   }
   std::sort(counts.begin(), counts.end());
 
-  constexpr std::size_t kSteps = 4;  // bootstrap + 3 predictive steps
-
+  // --- phase 1: full predictive solver -------------------------------------
   std::printf("SIMT executor scaling — Predictive-RP, %zu steps, "
-              "%u hardware threads\n\n", kSteps, hw);
+              "%u hardware threads\n\n", steps, hw);
   std::printf("%8s  %10s  %10s  %10s  %10s  %10s  %8s\n", "threads",
               "total s", "kernel s", "forecast s", "cluster s", "train s",
               "speedup");
 
   std::vector<PhaseSeconds> results;
-  for (unsigned t : counts) results.push_back(run_at(t, kSteps));
-  util::ThreadPool::set_global_threads(0);
+  for (unsigned t : counts) results.push_back(run_at(t, steps));
 
   const double kernel_1t = results.front().kernel;
   for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -125,14 +284,45 @@ int main() {
                 r.train, kernel_1t / std::max(1e-12, r.kernel));
   }
 
-  FILE* json = std::fopen("BENCH_scaling.json", "w");
+  // --- phase 2: sharded cache replay ---------------------------------------
+  std::printf("\nsharded cache replay — %u SMs, %zu warps/SM, %zu instr/warp, "
+              "best of %zu\n\n",
+              simt::tesla_k40().num_sms, replay_warps, replay_instr,
+              replay_reps);
+  std::printf("%8s  %12s  %8s  %s\n", "threads", "replay s", "speedup",
+              "counters");
+  ReplayWorkload work(replay_warps, replay_instr);
+  std::vector<ReplayResult> replay;
+  for (unsigned t : counts) replay.push_back(replay_at(t, work, replay_reps));
+  util::ThreadPool::set_global_threads(0);
+
+  int failures = 0;
+  const double replay_1t = replay.front().seconds;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const ReplayResult& r = replay[i];
+    const bool same = same_counters(r.metrics, replay.front().metrics);
+    std::printf("%8u  %12.5f  %7.2fx  %s\n", counts[i], r.seconds,
+                replay_1t / std::max(1e-12, r.seconds),
+                same ? "identical" : "DRIFTED");
+    if (!same) {
+      std::fprintf(stderr,
+                   "FAIL: replay counters at %u threads differ from the "
+                   "1-thread replay (sharded merge must be deterministic)\n",
+                   counts[i]);
+      ++failures;
+    }
+  }
+
+  // --- JSON -----------------------------------------------------------------
+  const std::string json_path = args.get_string("json");
+  FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_scaling.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
   std::fprintf(json, "{\n  \"benchmark\": \"simt-executor-scaling\",\n");
   std::fprintf(json, "  \"scenario\": \"predictive-rp 48x48, 12 subregions, "
-                     "%zu steps\",\n", kSteps);
+                     "%zu steps\",\n", steps);
   std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
   std::fprintf(json, "  \"phase\": \"COMPUTE-RP-INTEGRAL (kernel column = "
                      "compute-rp-integral + adaptive fallback host "
@@ -149,12 +339,69 @@ int main() {
                  r.train, kernel_1t / std::max(1e-12, r.kernel),
                  i + 1 < counts.size() ? "," : "");
   }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"replay_workload\": {\"warps_per_sm\": %zu, "
+               "\"instructions_per_warp\": %zu, \"reps\": %zu},\n",
+               replay_warps, replay_instr, replay_reps);
+  std::fprintf(json, "  \"replay_runs\": [\n");
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const ReplayResult& r = replay[i];
+    std::fprintf(json,
+                 "    {\"threads\": %u, \"replay_seconds\": %.6f, "
+                 "\"replay_speedup_vs_1t\": %.4f, "
+                 "\"counters_identical\": %d}%s\n",
+                 counts[i], r.seconds,
+                 replay_1t / std::max(1e-12, r.seconds),
+                 same_counters(r.metrics, replay.front().metrics) ? 1 : 0,
+                 i + 1 < counts.size() ? "," : "");
+  }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);
-  std::printf("\nwrote BENCH_scaling.json\n");
+  std::printf("\nwrote %s\n", json_path.c_str());
   if (hw == 1) {
     std::printf("note: single hardware thread — speedups are bounded by "
                 "1.0 here; run on a multi-core host to see scaling.\n");
   }
-  return 0;
+
+  // --- regression gate ------------------------------------------------------
+  const std::string baseline_path = args.get_string("check-baseline");
+  if (!baseline_path.empty()) {
+    const std::string baseline = read_file(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    const long long min_hw = baseline_value(baseline, "min_hardware_threads");
+    const long long floor_pct =
+        baseline_value(baseline, "min_replay_speedup_pct");
+    if (min_hw < 0 || floor_pct < 0) {
+      std::fprintf(stderr, "baseline %s is missing gate fields\n",
+                   baseline_path.c_str());
+      ++failures;
+    } else if (hw < static_cast<unsigned>(min_hw)) {
+      std::printf("replay speedup floor skipped: %u hardware threads < "
+                  "baseline floor %lld (determinism still enforced)\n",
+                  hw, min_hw);
+    } else {
+      const auto at4 = std::find(counts.begin(), counts.end(), 4u);
+      const double speedup =
+          at4 == counts.end()
+              ? 0.0
+              : replay_1t /
+                    std::max(1e-12,
+                             replay[static_cast<std::size_t>(
+                                        at4 - counts.begin())].seconds);
+      if (speedup * 100.0 < static_cast<double>(floor_pct)) {
+        std::fprintf(stderr,
+                     "FAIL: 1->4-thread replay speedup %.2fx below the "
+                     "baseline floor %.2fx\n",
+                     speedup, static_cast<double>(floor_pct) / 100.0);
+        ++failures;
+      }
+    }
+    std::printf("baseline check vs %s: %s\n", baseline_path.c_str(),
+                failures == 0 ? "OK" : "FAILED");
+  }
+  return failures == 0 ? 0 : 1;
 }

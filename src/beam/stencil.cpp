@@ -7,8 +7,8 @@
 namespace bd::beam {
 
 namespace {
-constexpr std::uint32_t kBoundsSite = simt::site_id("beam/stencil/bounds");
-constexpr std::uint32_t kRowSite = simt::site_id("beam/stencil/row");
+constexpr std::uint32_t kBoundsSite = kStencilBoundsSite;
+constexpr std::uint32_t kRowSite = kStencilRowSite;
 
 /// TSC 3×3 spatial sample on one time plane. Caller has validated bounds.
 inline double sample_plane(const GridHistory& history, MomentChannel channel,

@@ -29,6 +29,14 @@ double sample_spatial(const GridHistory& history, MomentChannel channel,
                       std::int64_t step, double x, double y,
                       simt::LaneProbe& probe);
 
+/// Probe sites the space–time stencil reports at. Public because the
+/// batched wake path (wake_simd.cpp) must emit the identical event stream
+/// from the identical sites.
+inline constexpr std::uint32_t kStencilBoundsSite =
+    simt::site_id("beam/stencil/bounds");
+inline constexpr std::uint32_t kStencilRowSite =
+    simt::site_id("beam/stencil/row");
+
 /// Number of global loads one in-bounds space–time sample issues.
 inline constexpr int kLoadsPerSample = 9;
 

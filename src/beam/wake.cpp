@@ -79,6 +79,20 @@ WakeIntegrand::WakeIntegrand(const GridHistory& history,
         model.coupling_derivative ? -delta / sigma_sq * kernel : kernel;
     inner_w_[static_cast<std::size_t>(i)] *= coupling;
   }
+  // Hoisted stencil geometry for the batched path (wake_simd.cpp). The
+  // inner nodes are fixed per integrand, so the per-node y index, bounds
+  // flag and TSC weights sample_spacetime recomputes on every sample can
+  // be evaluated once here — same expressions, so same bits.
+  const GridSpec& spec = history.spec();
+  for (int i = 0; i < model.inner_points; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double gy = spec.gy(inner_y_[idx]);
+    const auto iy = static_cast<std::int64_t>(std::lround(gy));
+    inner_iy_[idx] = iy;
+    inner_iy_ok_[idx] =
+        iy >= 1 && iy <= static_cast<std::int64_t>(spec.ny) - 2;
+    tsc_weights(gy - static_cast<double>(iy), &inner_wy_[3 * idx]);
+  }
 }
 
 double WakeIntegrand::eval(double u, simt::LaneProbe& probe) const {

@@ -55,6 +55,12 @@ struct WakeModel {
 /// in fixed arrays — constructing one allocates nothing.
 inline constexpr int kMaxInnerPoints = 9;
 
+/// Probe site of the fast-reject range branch in WakeIntegrand::eval.
+/// Public because the batched path (wake_simd.cpp) reports at the same
+/// site.
+inline constexpr std::uint32_t kWakeRangeSite =
+    simt::site_id("beam/wake/s-range");
+
 /// rp-integrand for one grid point at one time step. eval(u) computes the
 /// inner Newton–Cotes integral at retarded separation u, sampling the
 /// moment history through the 27-point space–time stencil.
@@ -71,6 +77,14 @@ class WakeIntegrand final : public quad::RadialIntegrand {
                 double sub_width);
 
   double eval(double u, simt::LaneProbe& probe) const override;
+
+  /// Batched evaluation (wake_simd.cpp): evaluates up to quad::kBatchWidth
+  /// retarded separations per call with the per-sample stencil geometry
+  /// hoisted into SoA form and the inner 27-point accumulation dispatched
+  /// to an AVX2 kernel when simd::active_level() allows. Bitwise identical
+  /// to n sequential eval() calls — values and probe streams alike.
+  void eval_batch(const double* u, double* out, std::size_t n,
+                  simt::LaneProbe& probe) const override;
 
   double s_point() const { return s_point_; }
   double y_point() const { return y_point_; }
@@ -95,6 +109,13 @@ class WakeIntegrand final : public quad::RadialIntegrand {
   int inner_count_;
   std::array<double, kMaxInnerPoints> inner_y_;
   std::array<double, kMaxInnerPoints> inner_w_;  // NC weight × coupling
+  // Batched-path SoA geometry, precomputed once per integrand. These are
+  // the per-inner-node quantities sample_spacetime recomputes on every
+  // sample (identical expressions, so identical bits): the y grid index,
+  // its in-bounds flag, and the TSC y-weights.
+  std::array<std::int64_t, kMaxInnerPoints> inner_iy_;
+  std::array<double, 3 * kMaxInnerPoints> inner_wy_;
+  std::array<bool, kMaxInnerPoints> inner_iy_ok_;
 };
 
 }  // namespace bd::beam

@@ -1,0 +1,272 @@
+/// \file wake_simd.cpp
+/// Batched (SoA) WakeIntegrand evaluation — see wake_simd.hpp for the
+/// dispatch policy and the bitwise-identity contract with eval().
+///
+/// Structure of a batch:
+///  1. Per-sample geometry pass (scalar): range test, x grid index, TSC
+///     x-weights, time clamp + Lagrange weights, plane base pointers and
+///     the radial-kernel pow — everything eval() recomputes per inner node
+///     is computed once per sample here. Probe events are emitted lane by
+///     lane with the same per-site sequences as sequential eval() calls
+///     (flops totals are order-insensitive sums, so one count_flops per
+///     sample carries the same information).
+///  2. Inner 27-point accumulation: four samples wide through the AVX2
+///     kernel when every lane is in range and in x-bounds and dispatch
+///     allows, else the scalar reference loop per lane. Both run the exact
+///     IEEE op sequence of eval(); the AVX2 kernel is compiled with a
+///     per-function target attribute (no global -mavx2 needed) and
+///     deliberately without "fma" in the target set, so the compiler
+///     cannot contract the mul/add pairs into fused ops that would round
+///     differently from the scalar reference.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "beam/grid.hpp"
+#include "beam/history.hpp"
+#include "beam/stencil.hpp"
+#include "beam/wake.hpp"
+#include "beam/wake_simd.hpp"
+#include "quad/batch_eval.hpp"
+#include "util/check.hpp"
+
+#if BD_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace bd::beam {
+
+simd::Level wake_batch_level() { return simd::active_level(); }
+
+namespace {
+
+constexpr std::size_t kW = quad::kBatchWidth;
+constexpr std::size_t kMaxRows =
+    static_cast<std::size_t>(kMaxInnerPoints) * kLoadsPerSample;
+
+/// Geometry of one sample, hoisted out of the inner-node loop. Every field
+/// is produced by the same expression the scalar path evaluates (per inner
+/// node there), so consuming it yields the same bits.
+struct LaneGeom {
+  bool in_range = false;
+  bool ix_ok = false;
+  double wx[3] = {0.0, 0.0, 0.0};
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0;
+  double kernel = 0.0;
+  // Row pointers of every in-bounds inner node, in the scalar path's
+  // (node, plane, row) order; 9 per node.
+  const double* rows[kMaxRows];
+  std::size_t num_rows = 0;
+};
+
+/// Scalar reference inner accumulation for one lane: the exact op sequence
+/// of eval()'s inner loop, reading hoisted geometry. Always built; the
+/// AVX2 kernel below must match it bitwise.
+double lane_inner_scalar(const LaneGeom& g, const double* inner_w,
+                         const double* inner_wy, const bool* iy_ok, int ic) {
+  double inner = 0.0;
+  std::size_t j = 0;
+  for (int i = 0; i < ic; ++i) {
+    double f = 0.0;
+    if (g.ix_ok && iy_ok[i]) {
+      const double* const* rr = g.rows + 9 * j;
+      double fp[3];
+      for (int p = 0; p < 3; ++p) {
+        double acc = 0.0;
+        for (int dy = 0; dy < 3; ++dy) {
+          const double* row = rr[3 * p + dy];
+          acc += inner_wy[3 * i + dy] *
+                 (g.wx[0] * row[0] + g.wx[1] * row[1] + g.wx[2] * row[2]);
+        }
+        fp[p] = acc;
+      }
+      f = g.l0 * fp[0] + g.l1 * fp[1] + g.l2 * fp[2];
+      ++j;
+    }
+    inner += inner_w[i] * f;
+  }
+  return inner;
+}
+
+#if BD_SIMD_X86
+/// AVX2 inner accumulation across four lanes that are all in range and in
+/// x-bounds (y-bounds are per-node and lane-independent, handled inside).
+/// Each vector lane runs lane_inner_scalar's op sequence: _mm256_add_pd /
+/// _mm256_mul_pd are lane-wise identical to scalar + and *, and with "fma"
+/// absent from the target set no contraction can occur.
+__attribute__((target("avx2"))) void inner_sums_avx2(
+    const LaneGeom* g, const double* inner_w, const double* inner_wy,
+    const bool* iy_ok, int ic, double amplitude, double* out) {
+  const __m256d wx0 =
+      _mm256_setr_pd(g[0].wx[0], g[1].wx[0], g[2].wx[0], g[3].wx[0]);
+  const __m256d wx1 =
+      _mm256_setr_pd(g[0].wx[1], g[1].wx[1], g[2].wx[1], g[3].wx[1]);
+  const __m256d wx2 =
+      _mm256_setr_pd(g[0].wx[2], g[1].wx[2], g[2].wx[2], g[3].wx[2]);
+  const __m256d l0 = _mm256_setr_pd(g[0].l0, g[1].l0, g[2].l0, g[3].l0);
+  const __m256d l1 = _mm256_setr_pd(g[0].l1, g[1].l1, g[2].l1, g[3].l1);
+  const __m256d l2 = _mm256_setr_pd(g[0].l2, g[1].l2, g[2].l2, g[3].l2);
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d inner = zero;
+  std::size_t j = 0;
+  for (int i = 0; i < ic; ++i) {
+    const __m256d wi = _mm256_set1_pd(inner_w[i]);
+    if (!iy_ok[i]) {
+      // Scalar path does inner += w_i * 0.0 for out-of-bounds nodes; keep
+      // the identical operation (w_i * 0.0 may be a signed zero).
+      inner = _mm256_add_pd(inner, _mm256_mul_pd(wi, zero));
+      continue;
+    }
+    __m256d fp[3];
+    for (int p = 0; p < 3; ++p) {
+      __m256d acc = zero;
+      for (int dy = 0; dy < 3; ++dy) {
+        const std::size_t r = 9 * j + 3 * static_cast<std::size_t>(p) +
+                              static_cast<std::size_t>(dy);
+        const double* ra = g[0].rows[r];
+        const double* rb = g[1].rows[r];
+        const double* rc = g[2].rows[r];
+        const double* rd = g[3].rows[r];
+        const __m256d e0 = _mm256_setr_pd(ra[0], rb[0], rc[0], rd[0]);
+        const __m256d e1 = _mm256_setr_pd(ra[1], rb[1], rc[1], rd[1]);
+        const __m256d e2 = _mm256_setr_pd(ra[2], rb[2], rc[2], rd[2]);
+        // (wx0*e0 + wx1*e1) + wx2*e2, then acc += wy_dy * dot — the scalar
+        // association order.
+        const __m256d dot = _mm256_add_pd(
+            _mm256_add_pd(_mm256_mul_pd(wx0, e0), _mm256_mul_pd(wx1, e1)),
+            _mm256_mul_pd(wx2, e2));
+        const __m256d wy = _mm256_set1_pd(inner_wy[3 * i + dy]);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(wy, dot));
+      }
+      fp[p] = acc;
+    }
+    const __m256d f = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(l0, fp[0]), _mm256_mul_pd(l1, fp[1])),
+        _mm256_mul_pd(l2, fp[2]));
+    inner = _mm256_add_pd(inner, _mm256_mul_pd(wi, f));
+    ++j;
+  }
+  const __m256d kern =
+      _mm256_setr_pd(g[0].kernel, g[1].kernel, g[2].kernel, g[3].kernel);
+  const __m256d amp = _mm256_set1_pd(amplitude);
+  // amplitude * kernel * inner, left-associated like the scalar return.
+  _mm256_storeu_pd(out, _mm256_mul_pd(_mm256_mul_pd(amp, kern), inner));
+}
+#endif  // BD_SIMD_X86
+
+}  // namespace
+
+void WakeIntegrand::eval_batch(const double* u, double* out, std::size_t n,
+                               simt::LaneProbe& probe) const {
+  BD_DCHECK(n <= kW);
+  const GridSpec& spec = history_.spec();
+  const int ic = inner_count_;
+  const std::size_t nx = spec.nx;
+  const std::int64_t nx_hi = static_cast<std::int64_t>(spec.nx) - 2;
+  const bool* iy_ok = inner_iy_ok_.data();
+  bool any_iy_ok = false;
+  for (int i = 0; i < ic; ++i) any_iy_ok |= iy_ok[i];
+
+  // Clamp bounds are per-history, not per-sample.
+  const std::int64_t newest = history_.latest_step();
+  const std::int64_t oldest =
+      newest - static_cast<std::int64_t>(history_.depth()) + 1;
+
+  LaneGeom g[kW];
+  const void* addrs[kMaxRows];
+
+  for (std::size_t k = 0; k < n; ++k) {
+    LaneGeom& lane = g[k];
+    const double s = s_point_ - u[k];
+    const bool in_range =
+        s >= spec.x0 - spec.dx && s <= spec.x_max() + spec.dx;
+    lane.in_range = in_range;
+    probe.branch(kWakeRangeSite, in_range);
+    if (!in_range) {
+      probe.count_flops(4);
+      out[k] = 0.0;
+      continue;
+    }
+    std::uint64_t flops = 4;
+    const double gx = spec.gx(s);
+    const auto ix = static_cast<std::int64_t>(std::lround(gx));
+    lane.ix_ok = ix >= 1 && ix <= nx_hi;
+    const double t_steps = static_cast<double>(step_) - u[k] / sub_width_;
+    if (lane.ix_ok && any_iy_ok) {
+      tsc_weights(gx - static_cast<double>(ix), lane.wx);
+      std::int64_t b = static_cast<std::int64_t>(std::floor(t_steps));
+      if (b > newest) b = newest;
+      if (b - 2 < oldest) b = oldest + 2;
+      BD_DCHECK(history_.has_step(b) && history_.has_step(b - 2));
+      const double ut = t_steps - static_cast<double>(b);
+      lane.l0 = 0.5 * (ut + 1.0) * (ut + 2.0);
+      lane.l1 = -ut * (ut + 2.0);
+      lane.l2 = 0.5 * ut * (ut + 1.0);
+      const double* planes[3] = {history_.plane(b, channel_),
+                                 history_.plane(b - 1, channel_),
+                                 history_.plane(b - 2, channel_)};
+      for (int i = 0; i < ic; ++i) {
+        if (!iy_ok[i]) continue;
+        const std::int64_t iy = inner_iy_[static_cast<std::size_t>(i)];
+        for (int p = 0; p < 3; ++p) {
+          const double* base =
+              planes[p] + static_cast<std::size_t>(iy - 1) * nx +
+              static_cast<std::size_t>(ix - 1);
+          lane.rows[lane.num_rows++] = base;
+          lane.rows[lane.num_rows++] = base + nx;
+          lane.rows[lane.num_rows++] = base + 2 * nx;
+        }
+      }
+    }
+    // Per-node bounds branches in node order, then the row loads in the
+    // scalar (node, plane, row) order — per-site sequences identical to
+    // sequential eval() calls.
+    for (int i = 0; i < ic; ++i) {
+      const bool inside = lane.ix_ok && iy_ok[i];
+      probe.branch(kStencilBoundsSite, inside);
+      if (inside) flops += 12 + 10 + 3 * 18 + 5;
+    }
+    if (lane.num_rows != 0) {
+      for (std::size_t q = 0; q < lane.num_rows; ++q) {
+        addrs[q] = history_.probe_address(lane.rows[q]);
+      }
+      probe.load_run(kStencilRowSite, addrs, 3 * sizeof(double),
+                     lane.num_rows);
+    }
+    flops += 2 * static_cast<std::uint64_t>(ic) + 12;
+    probe.count_flops(flops);
+    // Radial kernel: scalar per lane — there is no bitwise-matching vector
+    // pow. Same compile-time-exponent dispatch as eval().
+    const double base = u[k] + regularization_;
+    switch (pow_kind_) {
+      case PowKind::kLongitudinal:
+        lane.kernel = std::pow(base, kLongitudinalKernelPower);
+        break;
+      case PowKind::kTransverse:
+        lane.kernel = std::pow(base, kTransverseKernelPower);
+        break;
+      default:
+        lane.kernel = std::pow(base, kernel_power_);
+        break;
+    }
+  }
+
+#if BD_SIMD_X86
+  if (n == kW && simd::active_level() == simd::Level::kAvx2 &&
+      g[0].in_range && g[0].ix_ok && g[1].in_range && g[1].ix_ok &&
+      g[2].in_range && g[2].ix_ok && g[3].in_range && g[3].ix_ok) {
+    inner_sums_avx2(g, inner_w_.data(), inner_wy_.data(), iy_ok, ic,
+                    amplitude_, out);
+    return;
+  }
+#endif
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!g[k].in_range) continue;  // out[k] already 0.0
+    const double inner =
+        lane_inner_scalar(g[k], inner_w_.data(), inner_wy_.data(), iy_ok, ic);
+    out[k] = amplitude_ * g[k].kernel * inner;
+  }
+}
+
+}  // namespace bd::beam

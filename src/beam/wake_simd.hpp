@@ -1,0 +1,33 @@
+#pragma once
+/// \file wake_simd.hpp
+/// Batched (SoA) evaluation of the wake integrand — the dispatch surface of
+/// WakeIntegrand::eval_batch, whose kernels live in wake_simd.cpp.
+///
+/// The batched path restructures eval()'s per-sample work into structure-
+/// of-arrays form: everything the 27-point stencil recomputes per inner
+/// node but that only depends on the integrand (y index, y bounds, TSC
+/// y-weights) is precomputed at construction, everything that only depends
+/// on the sample u (x index, TSC x-weights, time clamp, Lagrange weights,
+/// radial kernel) is computed once per sample instead of once per inner
+/// node, and the remaining 27-point accumulation — the actual flops — runs
+/// four samples wide through an AVX2 kernel when dispatch allows.
+///
+/// Identity contract: the batched path is bitwise identical to sequential
+/// eval() calls at every dispatch level. Vector lanes execute the same
+/// IEEE-754 operation sequence as the scalar reference (lane-wise add/mul
+/// are exact matches; FMA contraction is never used because a fused
+/// multiply-add rounds once where the reference rounds twice), `std::pow`
+/// and `std::lround` stay scalar per lane, and probe events are emitted
+/// with the same per-site sequences the scalar path produces.
+
+#include "util/simd.hpp"
+
+namespace bd::beam {
+
+/// The SIMD level WakeIntegrand::eval_batch dispatches to right now —
+/// simd::active_level(), i.e. compile-time support ∧ runtime CPU support ∧
+/// not disabled via BD_SIMD=off. Exposed so solvers can record it as
+/// telemetry and tests/benches can assert which path they exercised.
+simd::Level wake_batch_level();
+
+}  // namespace bd::beam

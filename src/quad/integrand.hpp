@@ -23,6 +23,15 @@ class RadialIntegrand {
   /// Evaluate the inner integral at radius `r`, reporting flops and global
   /// loads through `probe`.
   virtual double eval(double r, simt::LaneProbe& probe) const = 0;
+
+  /// Evaluate `n` radii in one call (n ≤ quad::kBatchWidth). The contract
+  /// is strict batch-of-eval semantics: out[k] must be bitwise identical to
+  /// eval(r[k], probe), and probe events must be emitted per sample in
+  /// index order with the same per-site sequences the scalar path produces.
+  /// The default implementation (batch_eval.cpp) is exactly that loop;
+  /// integrands with a vectorized path (beam::WakeIntegrand) override it.
+  virtual void eval_batch(const double* r, double* out, std::size_t n,
+                          simt::LaneProbe& probe) const;
 };
 
 /// Adapter turning any callable double(double) into a RadialIntegrand.

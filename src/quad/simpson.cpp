@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "quad/batch_eval.hpp"
+
 namespace bd::quad {
 
 double simpson_value(const RadialIntegrand& f, double a, double b,
@@ -48,16 +50,9 @@ QuadEstimate simpson_estimate_memo(const RadialIntegrand& f, double a,
                                    double b, double fa, double fm, double fb,
                                    simt::LaneProbe& probe,
                                    SimpsonSamples& out) {
-  const double m = 0.5 * (a + b);
-  out.fa = fa;
-  out.fm = fm;
-  out.fb = fb;
-  out.fl = f.eval(0.5 * (a + m), probe);
-  out.fr = f.eval(0.5 * (m + b), probe);
-
-  QuadEstimate est = simpson_combine(a, b, out, probe);
-  est.evaluations = 2;
-  return est;
+  // The memoized refinement pair (fl, fr) is one eval_batch block; the
+  // adaptive driver inherits the batched path through this delegation.
+  return simpson_refine_batch(f, a, b, fa, fm, fb, probe, out);
 }
 
 }  // namespace bd::quad

@@ -63,8 +63,12 @@ double simpson_value(const RadialIntegrand& f, double a, double b,
 /// `simpson_estimate` loop, but carries f(b_i) into interval i+1, so a
 /// partition of n intervals costs 4·n+1 integrand evaluations instead of
 /// 5·n. Bit-identical to the naive loop: the integrand is pure and every
-/// sample-point expression is unchanged. `visit(i, a, b, est, samples)`
-/// is called once per interval, in order. Returns total evaluations.
+/// sample-point expression is unchanged. The four fresh samples per
+/// interval are evaluated as one eval_batch block in the same order the
+/// scalar loop used (fm, fb, fl, fr), so batching integrands vectorize
+/// here without changing values or probe streams. `visit(i, a, b, est,
+/// samples)` is called once per interval, in order. Returns total
+/// evaluations.
 template <typename Visit>
 std::uint64_t simpson_sweep(const RadialIntegrand& f,
                             std::span<const double> partition,
@@ -77,10 +81,13 @@ std::uint64_t simpson_sweep(const RadialIntegrand& f,
     const double a = partition[i];
     const double b = partition[i + 1];
     const double m = 0.5 * (a + b);
-    s.fm = f.eval(m, probe);
-    s.fb = f.eval(b, probe);
-    s.fl = f.eval(0.5 * (a + m), probe);
-    s.fr = f.eval(0.5 * (m + b), probe);
+    const double r[4] = {m, b, 0.5 * (a + m), 0.5 * (m + b)};
+    double fv[4];
+    f.eval_batch(r, fv, 4, probe);
+    s.fm = fv[0];
+    s.fb = fv[1];
+    s.fl = fv[2];
+    s.fr = fv[3];
     evaluations += 4;
     const QuadEstimate est = simpson_combine(a, b, s, probe);
     visit(i, a, b, est, s);

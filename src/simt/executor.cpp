@@ -86,25 +86,31 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
   }
   const double replay_start = session.enabled() ? session.now_us() : 0.0;
 
-  // --- Pass 2 (serial): replay memory traffic through the caches --------
-  // Identical to the serial executor: blocks are distributed round-robin
-  // over SMs (block b runs on SM b % num_sms); on each SM, groups of
-  // `resident` consecutive blocks are co-resident and their warps' streams
-  // interleave in the private L1. Replaying in this fixed SM-major order
-  // keeps every cache transition — and therefore KernelMetrics —
-  // bit-for-bit independent of how pass 1 was scheduled.
-  std::vector<SetAssocCache> l1_caches;
-  l1_caches.reserve(spec.num_sms);
-  for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
-    l1_caches.emplace_back(spec.l1_bytes, spec.l1_line_bytes, spec.l1_ways);
-  }
-  SetAssocCache l2(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways);
-
-  KernelMetrics metrics;
-  metrics.warp_size = spec.warp_size;
-
-  for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
-    SetAssocCache& l1 = l1_caches[sm];
+  // --- Pass 2 (sharded): replay memory traffic through the caches -------
+  // Blocks are distributed round-robin over SMs (block b runs on SM
+  // b % num_sms); on each SM, groups of `resident` consecutive blocks are
+  // co-resident and their warps' streams interleave in the private L1.
+  //
+  // Per-SM L1 state is independent, so stage 2a replays every SM's L1 in
+  // parallel on the thread pool, each shard accumulating its own metrics
+  // partial and recording the line address of every L1 miss in replay
+  // order. Stage 2b then merges serially in SM index order: partials are
+  // integer sums (order-insensitive), and feeding each SM's miss stream
+  // through the shared L2 SM-major reproduces the serial executor's L2
+  // access order exactly — the serial replay was SM-major already. Every
+  // cache transition, and therefore KernelMetrics, stays bit-for-bit
+  // independent of BD_NUM_THREADS and of pass-1/2a scheduling.
+  struct SmShard {
+    KernelMetrics partial;
+    std::vector<std::uint64_t> l2_misses;
+  };
+  const std::uint32_t num_shards =
+      std::min<std::uint32_t>(spec.num_sms, config.num_blocks);
+  std::vector<SmShard> shards(spec.num_sms);
+  util::parallel_for(0, spec.num_sms, [&](std::size_t sm_idx) {
+    const auto sm = static_cast<std::uint32_t>(sm_idx);
+    SmShard& shard = shards[sm_idx];
+    SetAssocCache l1(spec.l1_bytes, spec.l1_line_bytes, spec.l1_ways);
     std::vector<std::uint32_t> my_blocks;
     for (std::uint32_t block = sm; block < config.num_blocks;
          block += spec.num_sms) {
@@ -118,21 +124,32 @@ KernelMetrics launch(const DeviceSpec& spec, const LaunchConfig& config,
       replays.reserve((chunk_end - chunk) * warps_per_block);
       for (std::size_t bi = chunk; bi < chunk_end; ++bi) {
         BlockOutput& out = blocks[my_blocks[bi]];
-        metrics += out.analysis;
+        shard.partial += out.analysis;
         for (WarpReplay& replay : out.replays) {
           replays.push_back(std::move(replay));
         }
         out.replays.clear();
         out.replays.shrink_to_fit();  // free trace memory as we go
       }
-      replay_interleaved(replays, spec, l1, l2, metrics);
+      replay_interleaved_l1(replays, spec, l1, shard.partial,
+                            shard.l2_misses);
     }
+  });
+
+  KernelMetrics metrics;
+  metrics.warp_size = spec.warp_size;
+  SetAssocCache l2(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways);
+  for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
+    metrics += shards[sm].partial;
+    replay_l2_lines(shards[sm].l2_misses, spec, l2, metrics);
   }
 
   if (session.enabled()) {
     session.record_complete("simt.cache_replay", "simt", replay_start,
                             session.now_us() - replay_start, "");
   }
+  telemetry::histogram_record("simt.replay_shards",
+                              static_cast<double>(num_shards));
 
   apply_time_model(metrics, spec);
 

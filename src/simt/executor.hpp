@@ -13,10 +13,13 @@
 ///     analyzed for divergence/coalescing block by block on the process
 ///     thread pool (util/parallel.hpp, BD_NUM_THREADS). This is where all
 ///     the quadrature time goes.
-///  2. *Cache replay* (serial): each warp's coalesced transaction stream is
-///     replayed through the per-SM L1s and the shared L2 in the fixed
-///     SM-major block order of the serial executor, so cache state — and
-///     every KernelMetrics counter — is independent of pass-1 scheduling.
+///  2. *Cache replay* (sharded): per-SM L1 state is independent, so each
+///     SM's warps replay through its private L1 in parallel on the pool,
+///     recording L1-miss lines in replay order; a serial SM-major merge
+///     then feeds each SM's miss stream through the shared L2 — the exact
+///     access order of the old serial replay — so cache state and every
+///     KernelMetrics counter are independent of scheduling and of
+///     BD_NUM_THREADS.
 ///
 /// Lane-concurrency contract (what kernel bodies must obey, mirroring a
 /// real GPU): lanes from *different blocks* may execute concurrently; lanes
@@ -58,8 +61,9 @@ using KernelFn = std::function<void(const ThreadCtx&, LaneProbe&)>;
 ///
 /// Deterministic: identical inputs produce identical metrics — bit for bit,
 /// for any BD_NUM_THREADS — because divergence/coalescing counters are
-/// integer sums over warps and the cache replay always runs serially in the
-/// fixed SM-major block order.
+/// integer sums over warps, per-SM L1 replay is self-contained per shard,
+/// and the shared-L2 merge always runs serially in the fixed SM-major
+/// block order.
 ///
 /// Observability: every launch emits a `simt.launch` trace span (geometry
 /// plus the headline KernelMetrics as span args) with `simt.lane_pass` /

@@ -43,6 +43,17 @@ class LaneProbe {
 
   /// Record the outcome of a data-dependent branch at `site`.
   virtual void branch(std::uint32_t site, bool taken) = 0;
+
+  /// Record `count` same-width loads issued from static site `site`, in
+  /// program order. Semantically identical to `count` sequential load()
+  /// calls — the default implementation is exactly that loop — but probes
+  /// that buffer events (LaneTrace) override it with a bulk append, so
+  /// batched evaluation paths pay one virtual dispatch per sample block
+  /// instead of one per row.
+  virtual void load_run(std::uint32_t site, const void* const* addrs,
+                        std::uint32_t bytes, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) load(site, addrs[i], bytes);
+  }
 };
 
 /// No-op probe for host-side execution paths.
@@ -52,6 +63,8 @@ class NullProbe final : public LaneProbe {
   void load(std::uint32_t, const void*, std::uint32_t) override {}
   void loop_trip(std::uint32_t, std::uint64_t) override {}
   void branch(std::uint32_t, bool) override {}
+  void load_run(std::uint32_t, const void* const*, std::uint32_t,
+                std::size_t) override {}
 
   /// Shared instance: NullProbe is stateless.
   static NullProbe& instance() {
@@ -73,6 +86,11 @@ class CountingProbe final : public LaneProbe {
     loop_iterations_ += trips;
   }
   void branch(std::uint32_t, bool) override { ++branches_; }
+  void load_run(std::uint32_t, const void* const*, std::uint32_t bytes,
+                std::size_t count) override {
+    load_bytes_ += static_cast<std::uint64_t>(bytes) * count;
+    loads_ += count;
+  }
 
   std::uint64_t flops() const { return flops_; }
   std::uint64_t loads() const { return loads_; }

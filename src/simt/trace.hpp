@@ -48,6 +48,15 @@ class LaneTrace final : public LaneProbe {
     branches_.push_back(BranchEvent{site, taken});
   }
 
+  void load_run(std::uint32_t site, const void* const* addrs,
+                std::uint32_t bytes, std::size_t count) override {
+    // No reserve: exact-size reserve per run would defeat geometric growth.
+    for (std::size_t i = 0; i < count; ++i) {
+      loads_.push_back(LoadEvent{
+          site, bytes, reinterpret_cast<std::uint64_t>(addrs[i])});
+    }
+  }
+
   std::uint64_t flops() const { return flops_; }
   const std::vector<LoadEvent>& loads() const { return loads_; }
   const std::vector<LoopEvent>& loops() const { return loops_; }

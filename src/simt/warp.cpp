@@ -142,9 +142,11 @@ WarpReplay analyze_warp_groups(const std::vector<const LaneTrace*>& traces,
   return replay;
 }
 
-void replay_interleaved(std::vector<WarpReplay>& replays,
-                        const DeviceSpec& spec, SetAssocCache& l1,
-                        SetAssocCache& l2, KernelMetrics& out) {
+void replay_interleaved_l1(std::vector<WarpReplay>& replays,
+                           const DeviceSpec& spec, SetAssocCache& l1,
+                           KernelMetrics& out,
+                           std::vector<std::uint64_t>& l2_misses) {
+  (void)spec;
   std::vector<std::size_t> cursor(replays.size(), 0);
   bool progressed = true;
   while (progressed) {
@@ -158,21 +160,37 @@ void replay_interleaved(std::vector<WarpReplay>& replays,
           ++out.l1.hits;
         } else {
           ++out.l1.misses;
-          // An L1 miss fetches the line as L2-sector transactions.
-          for (std::uint32_t off = 0; off < spec.l1_line_bytes;
-               off += spec.l2_line_bytes) {
-            if (l2.access(line + off)) {
-              ++out.l2.hits;
-            } else {
-              ++out.l2.misses;
-              out.dram_bytes += spec.l2_line_bytes;
-            }
-          }
+          l2_misses.push_back(line);
         }
       }
       ++cursor[w];
     }
   }
+}
+
+void replay_l2_lines(const std::vector<std::uint64_t>& lines,
+                     const DeviceSpec& spec, SetAssocCache& l2,
+                     KernelMetrics& out) {
+  for (std::uint64_t line : lines) {
+    // An L1 miss fetches the line as L2-sector transactions.
+    for (std::uint32_t off = 0; off < spec.l1_line_bytes;
+         off += spec.l2_line_bytes) {
+      if (l2.access(line + off)) {
+        ++out.l2.hits;
+      } else {
+        ++out.l2.misses;
+        out.dram_bytes += spec.l2_line_bytes;
+      }
+    }
+  }
+}
+
+void replay_interleaved(std::vector<WarpReplay>& replays,
+                        const DeviceSpec& spec, SetAssocCache& l1,
+                        SetAssocCache& l2, KernelMetrics& out) {
+  std::vector<std::uint64_t> l2_misses;
+  replay_interleaved_l1(replays, spec, l1, out, l2_misses);
+  replay_l2_lines(l2_misses, spec, l2, out);
 }
 
 void analyze_warp(const std::vector<const LaneTrace*>& traces,

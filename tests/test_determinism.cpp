@@ -14,10 +14,14 @@
 #include "core/predictive.hpp"
 #include "core/simulation.hpp"
 #include "core/solver_scratch.hpp"
+#include "simt/cache.hpp"
 #include "simt/device.hpp"
 #include "simt/executor.hpp"
+#include "simt/trace.hpp"
+#include "simt/warp.hpp"
 #include "test_helpers.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 #include "util/telemetry.hpp"
 
 namespace bd {
@@ -210,6 +214,143 @@ TEST(Determinism, CheckpointRoundTripBitwiseIdentical) {
     for (std::size_t i = 0; i < a.observed.flat().size(); ++i) {
       ASSERT_EQ(a.observed.flat()[i], b.observed.flat()[i])
           << "step " << k << " entry " << i;
+    }
+  }
+}
+
+/// Per-SM warp streams built from synthetic LaneTraces through the real
+/// analyzer — the input shape of executor pass 2.
+std::vector<std::vector<simt::WarpReplay>> synthetic_sm_streams(
+    const simt::DeviceSpec& spec, std::size_t warps_per_sm,
+    simt::KernelMetrics& analysis) {
+  static std::vector<double> data(1 << 15, 1.0);
+  constexpr std::uint32_t kLoad = simt::site_id("determinism/shard-load");
+  std::vector<std::vector<simt::WarpReplay>> streams(spec.num_sms);
+  std::size_t seq = 0;
+  for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
+    for (std::size_t w = 0; w < warps_per_sm; ++w) {
+      std::vector<simt::LaneTrace> traces(spec.warp_size);
+      std::vector<const simt::LaneTrace*> warp;
+      for (std::uint32_t lane = 0; lane < spec.warp_size; ++lane) {
+        simt::LaneTrace& t = traces[lane];
+        // A strided sweep plus a scattered access per lane: L1 hits within
+        // a warp, misses across warps, real L2 sharing across SMs.
+        const std::size_t base = (seq * 131 + lane * 7) % (data.size() - 64);
+        t.load(kLoad, &data[base], 8);
+        t.load(kLoad, &data[(base * 13) % (data.size() - 8)], 8);
+        warp.push_back(&t);
+        ++seq;
+      }
+      streams[sm].push_back(
+          simt::analyze_warp_groups(warp, spec, analysis));
+    }
+  }
+  return streams;
+}
+
+/// Cache counters of the serial reference: per-SM L1 + shared L2 replayed
+/// SM-major through replay_interleaved — the pre-sharding executor.
+simt::KernelMetrics serial_replay(
+    const simt::DeviceSpec& spec,
+    std::vector<std::vector<simt::WarpReplay>>& streams) {
+  simt::KernelMetrics out;
+  simt::SetAssocCache l2(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways);
+  for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
+    simt::SetAssocCache l1(spec.l1_bytes, spec.l1_line_bytes, spec.l1_ways);
+    simt::replay_interleaved(streams[sm], spec, l1, l2, out);
+  }
+  return out;
+}
+
+/// The sharded composition simt::launch uses: parallel per-SM L1 stage
+/// recording miss lines, then the serial SM-major L2 merge.
+simt::KernelMetrics sharded_replay(
+    const simt::DeviceSpec& spec,
+    std::vector<std::vector<simt::WarpReplay>>& streams) {
+  struct Shard {
+    simt::KernelMetrics partial;
+    std::vector<std::uint64_t> l2_misses;
+  };
+  std::vector<Shard> shards(spec.num_sms);
+  util::parallel_for(0, spec.num_sms, [&](std::size_t sm) {
+    simt::SetAssocCache l1(spec.l1_bytes, spec.l1_line_bytes, spec.l1_ways);
+    simt::replay_interleaved_l1(streams[sm], spec, l1, shards[sm].partial,
+                                shards[sm].l2_misses);
+  });
+  simt::KernelMetrics out;
+  simt::SetAssocCache l2(spec.l2_bytes, spec.l2_line_bytes, spec.l2_ways);
+  for (std::uint32_t sm = 0; sm < spec.num_sms; ++sm) {
+    out += shards[sm].partial;
+    simt::replay_l2_lines(shards[sm].l2_misses, spec, l2, out);
+  }
+  return out;
+}
+
+TEST(Determinism, ShardedReplayMatchesSerialReference) {
+  // Sharding moves only *where* each L1 replay runs; the recorded miss
+  // streams fed SM-major through the L2 must reproduce the serial
+  // executor's every cache transition — at any pool width.
+  const simt::DeviceSpec spec = simt::tesla_k40();
+  simt::KernelMetrics analysis;
+  auto streams = synthetic_sm_streams(spec, 6, analysis);
+  const simt::KernelMetrics serial = serial_replay(spec, streams);
+  ASSERT_GT(serial.l1.misses, 0u);
+  ASSERT_GT(serial.l2.hits + serial.l2.misses, 0u);
+
+  for (unsigned threads : {1u, 8u}) {
+    util::ThreadPool::set_global_threads(threads);
+    const simt::KernelMetrics sharded = sharded_replay(spec, streams);
+    EXPECT_EQ(sharded.l1.hits, serial.l1.hits) << threads << " threads";
+    EXPECT_EQ(sharded.l1.misses, serial.l1.misses) << threads << " threads";
+    EXPECT_EQ(sharded.l2.hits, serial.l2.hits) << threads << " threads";
+    EXPECT_EQ(sharded.l2.misses, serial.l2.misses) << threads << " threads";
+    EXPECT_EQ(sharded.dram_bytes, serial.dram_bytes) << threads
+                                                     << " threads";
+  }
+  util::ThreadPool::set_global_threads(0);
+}
+
+TEST(Determinism, CheckpointRoundTripThroughBatchedPath) {
+  // A checkpoint written while the integrand engine dispatched scalar must
+  // resume bit-identically under the SIMD dispatch (and vice versa): the
+  // dispatch level is execution strategy, not state. On hosts without AVX2
+  // both halves run scalar and this degenerates to the plain round trip.
+  const std::string path = ::testing::TempDir() + "bd_simd_ckpt.bin";
+  core::SimConfig config;
+  config.particles = 4000;
+  config.nx = 16;
+  config.ny = 16;
+  config.tolerance = 1e-5;
+  config.rigid = false;
+
+  core::Simulation sim(
+      config, std::make_unique<core::PredictiveSolver>(simt::tesla_k40()));
+  sim.initialize();
+  sim.run(2);
+  core::save_checkpoint(sim, path);
+
+  simd::override_level(simd::Level::kScalar);
+  const std::vector<core::StepStats> scalar_run = sim.run(2);
+  simd::reset_level();
+
+  core::restore_checkpoint(sim, path);
+  EXPECT_EQ(sim.current_step(), 2);
+  const std::vector<core::StepStats> simd_run = sim.run(2);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(scalar_run.size(), simd_run.size());
+  for (std::size_t k = 0; k < scalar_run.size(); ++k) {
+    const core::SolveResult& a = scalar_run[k].longitudinal;
+    const core::SolveResult& b = simd_run[k].longitudinal;
+    expect_identical(a.metrics, b.metrics);
+    EXPECT_EQ(a.fallback_items, b.fallback_items);
+    EXPECT_EQ(a.kernel_intervals, b.kernel_intervals);
+    ASSERT_EQ(a.values.data().size(), b.values.data().size());
+    for (std::size_t i = 0; i < a.values.data().size(); ++i) {
+      ASSERT_EQ(a.values.data()[i], b.values.data()[i])
+          << "step " << k << " node " << i;
+      ASSERT_EQ(a.errors.data()[i], b.errors.data()[i])
+          << "step " << k << " node " << i;
     }
   }
 }

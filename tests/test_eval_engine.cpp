@@ -7,13 +7,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <vector>
 
 #include "beam/wake.hpp"
+#include "beam/wake_simd.hpp"
 #include "quad/adaptive.hpp"
+#include "quad/batch_eval.hpp"
 #include "quad/simpson.hpp"
+#include "simt/trace.hpp"
 #include "test_helpers.hpp"
+#include "util/simd.hpp"
 
 namespace bd::quad {
 namespace {
@@ -268,6 +273,160 @@ TEST(WakeIntegrandProperty, SweepMatchesNaiveLoopOnRealProblem) {
                   ++visited;
                 });
   EXPECT_EQ(visited, n);
+}
+
+// ---- SIMD batch engine (src/beam/wake_simd.cpp) ---------------------------
+// eval_batch must be bitwise identical to sequential eval() calls — output
+// values AND probe event streams — at every dispatch level, for every batch
+// width, including boundary stencils and out-of-range samples.
+
+/// Pins the dispatch level for one scope; always restores the default.
+struct LevelGuard {
+  explicit LevelGuard(simd::Level level) { simd::override_level(level); }
+  ~LevelGuard() { simd::reset_level(); }
+};
+
+/// The simpson-sweep batch layout for subregion interval j of width 1.
+std::array<double, 4> sweep_batch(std::size_t j) {
+  const double a = static_cast<double>(j);
+  const double b = a + 1.0;
+  const double m = 0.5 * (a + b);
+  return {m, b, 0.5 * (a + m), 0.5 * (m + b)};
+}
+
+TEST(SimdBatch, BatchedMatchesScalarBitwiseOnTableIWorkload) {
+  // Table I default geometry (64×64, 12 subregions). Strided nodes cover
+  // interior and boundary stencils; the samples are exactly the batches
+  // simpson_sweep hands to eval_batch in production.
+  const bd::testing::ProblemFixture fixture(64, 1e-6, 12);
+  const beam::GridSpec& spec = fixture.spec;
+  for (std::uint32_t node = 0; node < spec.nx * spec.ny; node += 97) {
+    const std::uint32_t ix = node % spec.nx;
+    const std::uint32_t iy = node / spec.nx;
+    const beam::WakeIntegrand f(
+        *fixture.problem.history, *fixture.problem.model, spec.x_at(ix),
+        spec.y_at(iy), fixture.problem.step, fixture.problem.sub_width);
+    for (std::size_t j = 0; j < 12; ++j) {
+      const std::array<double, 4> u = sweep_batch(j);
+      double ref[4], got[4];
+      for (std::size_t k = 0; k < 4; ++k) ref[k] = f.eval(u[k], probe());
+      f.eval_batch(u.data(), got, 4, probe());
+      for (std::size_t k = 0; k < 4; ++k) {
+        ASSERT_EQ(got[k], ref[k])
+            << "node (" << ix << "," << iy << ") interval " << j
+            << " lane " << k;
+      }
+    }
+  }
+}
+
+TEST(SimdBatch, PartialWidthsBoundaryAndOutOfRangeSamples) {
+  // Widths 1..4 never take the AVX2 fast path below 4; out-of-range u
+  // (past r_max the range branch rejects) and edge nodes (x-stencil out of
+  // bounds) force the mixed-lane scalar fallback inside eval_batch.
+  const bd::testing::ProblemFixture fixture(16, 1e-6, 12);
+  const beam::GridSpec& spec = fixture.spec;
+  const double far = fixture.problem.r_max() + 25.0;  // in_range == false
+  const std::uint32_t nodes[][2] = {{0, 0}, {1, 8}, {8, 8}, {15, 15}};
+  for (const auto& node : nodes) {
+    const beam::WakeIntegrand f(
+        *fixture.problem.history, *fixture.problem.model,
+        spec.x_at(node[0]), spec.y_at(node[1]), fixture.problem.step,
+        fixture.problem.sub_width);
+    const double samples[] = {0.0, 0.75, far, 2.5, far, 0.1, 4.9};
+    for (std::size_t n = 1; n <= quad::kBatchWidth; ++n) {
+      for (std::size_t off = 0; off + n <= std::size(samples); ++off) {
+        double ref[quad::kBatchWidth], got[quad::kBatchWidth];
+        for (std::size_t k = 0; k < n; ++k) {
+          ref[k] = f.eval(samples[off + k], probe());
+        }
+        f.eval_batch(samples + off, got, n, probe());
+        for (std::size_t k = 0; k < n; ++k) {
+          ASSERT_EQ(got[k], ref[k]) << "node (" << node[0] << "," << node[1]
+                                    << ") width " << n << " lane " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBatch, ForcedScalarAndActiveDispatchAgree) {
+  // The escape hatch (BD_SIMD=off ≙ override to kScalar) must not move a
+  // bit. On hosts without AVX2 both runs are scalar and the test is a
+  // tautology — the CI AVX2 leg provides the interesting coverage.
+  const bd::testing::ProblemFixture fixture(32, 1e-6, 12);
+  const beam::GridSpec& spec = fixture.spec;
+  const beam::WakeIntegrand f(
+      *fixture.problem.history, *fixture.problem.model, spec.x_at(13),
+      spec.y_at(17), fixture.problem.step, fixture.problem.sub_width);
+  for (std::size_t j = 0; j < 12; ++j) {
+    const std::array<double, 4> u = sweep_batch(j);
+    double scalar[4], active[4];
+    {
+      LevelGuard guard(simd::Level::kScalar);
+      f.eval_batch(u.data(), scalar, 4, probe());
+    }
+    f.eval_batch(u.data(), active, 4, probe());
+    for (std::size_t k = 0; k < 4; ++k) {
+      ASSERT_EQ(active[k], scalar[k]) << "interval " << j << " lane " << k;
+    }
+  }
+}
+
+TEST(SimdBatch, ProbeStreamIdenticalToSequentialEval) {
+  // The warp analyzer reconstructs lockstep execution from these streams;
+  // the batched path must emit the very same events. Emission is lane-major
+  // with per-lane ordering equal to eval()'s, so the raw vectors — not just
+  // the per-site subsequences — must match.
+  const bd::testing::ProblemFixture fixture(32, 1e-6, 12);
+  const beam::GridSpec& spec = fixture.spec;
+  const beam::WakeIntegrand f(
+      *fixture.problem.history, *fixture.problem.model, spec.x_at(3),
+      spec.y_at(28), fixture.problem.step, fixture.problem.sub_width);
+  const double far = fixture.problem.r_max() + 25.0;
+  const std::array<std::array<double, 4>, 3> batches = {
+      sweep_batch(0), sweep_batch(7), {1.0, far, 0.25, far}};
+  for (const auto& u : batches) {
+    simt::LaneTrace scalar_trace, batch_trace;
+    double ref[4], got[4];
+    for (std::size_t k = 0; k < 4; ++k) {
+      ref[k] = f.eval(u[k], scalar_trace);
+    }
+    f.eval_batch(u.data(), got, 4, batch_trace);
+    for (std::size_t k = 0; k < 4; ++k) ASSERT_EQ(got[k], ref[k]);
+
+    EXPECT_EQ(batch_trace.flops(), scalar_trace.flops());
+    ASSERT_EQ(batch_trace.loads().size(), scalar_trace.loads().size());
+    for (std::size_t i = 0; i < scalar_trace.loads().size(); ++i) {
+      const simt::LoadEvent& a = scalar_trace.loads()[i];
+      const simt::LoadEvent& b = batch_trace.loads()[i];
+      ASSERT_EQ(b.site, a.site) << "load " << i;
+      ASSERT_EQ(b.addr, a.addr) << "load " << i;
+      ASSERT_EQ(b.bytes, a.bytes) << "load " << i;
+    }
+    ASSERT_EQ(batch_trace.branches().size(), scalar_trace.branches().size());
+    for (std::size_t i = 0; i < scalar_trace.branches().size(); ++i) {
+      ASSERT_EQ(batch_trace.branches()[i].site,
+                scalar_trace.branches()[i].site) << "branch " << i;
+      ASSERT_EQ(batch_trace.branches()[i].taken,
+                scalar_trace.branches()[i].taken) << "branch " << i;
+    }
+    EXPECT_EQ(batch_trace.loops().size(), scalar_trace.loops().size());
+  }
+}
+
+TEST(SimdBatch, DefaultEvalBatchLoopsOverEval) {
+  // RadialIntegrands without a custom batch path fall back to n sequential
+  // eval() calls — identical bits, identical evaluation counts (the eval-
+  // count identities above depend on this).
+  const CountedIntegrand f;
+  const double u[4] = {0.1, 1.9, 3.2, 5.5};
+  double ref[4], got[4];
+  for (std::size_t k = 0; k < 4; ++k) ref[k] = f.eval(u[k], probe());
+  f.evals = 0;
+  f.eval_batch(u, got, 4, probe());
+  EXPECT_EQ(f.evals, 4u);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_EQ(got[k], ref[k]);
 }
 
 }  // namespace

@@ -35,7 +35,20 @@ for name in $names; do
   fi
 done
 
-# --- 2. dead relative markdown links ---------------------------------------
+# --- 2. root bench artifacts must be documented ----------------------------
+# Every BENCH_*.json at the repo root is the output of a bench harness and
+# must have a matching schema section in docs/BENCHMARKS.md (the literal
+# `BENCH_<name>.json`). An artifact nothing documents is an orphan: either
+# document it or delete it (and note why in ROADMAP.md).
+for bench in BENCH_*.json; do
+  [ -e "$bench" ] || continue
+  if ! grep -qF "\`$bench\`" docs/BENCHMARKS.md; then
+    echo "check_docs: '$bench' sits at the repo root but docs/BENCHMARKS.md has no \`$bench\` section" >&2
+    fail=1
+  fi
+done
+
+# --- 3. dead relative markdown links ---------------------------------------
 # [text](target) where target is not absolute, not a URL and not an anchor
 # must resolve to a file relative to the markdown file's directory.
 while IFS= read -r md; do

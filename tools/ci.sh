@@ -14,16 +14,27 @@
 # A docs stage checks docs consistency (tools/check_docs.sh): every
 # telemetry name documented in docs/METRICS.md, no dead markdown links.
 #
+# A simd stage proves the scalar/SIMD bitwise-identity contract from both
+# sides: the whole suite reruns on the default build with BD_SIMD=off
+# (forced-scalar dispatch), and the SIMD-touching tests rebuild and rerun
+# with the whole tree compiled -mavx2 (preset avx2; deliberately without
+# -mfma — FMA contraction in the scalar reference would break identity).
+#
 # A perf-smoke stage runs bench_rp_eval against the checked-in baseline
 # (tools/perf_baseline_rp_eval.json). Eval counts are deterministic, so
 # the gate catches real regressions: > 2% more integrand evaluations than
 # the baseline, a solver saving < 25% vs the naive engine, or the scratch
 # arena allocating after warm-up on the rigid steady-state workload.
-# It also runs bench_fleet against tools/perf_baseline_fleet.json: the
-# fleet-vs-solo digest (determinism) gate always applies; the aggregate
-# speedup floor only engages on machines with enough hardware threads.
+# It also runs bench_fleet against tools/perf_baseline_fleet.json (the
+# fleet-vs-solo digest gate always applies; the aggregate speedup floor
+# only engages on machines with enough hardware threads), bench_simd
+# against tools/perf_baseline_simd.json (batched-vs-scalar bitwise
+# identity always; the >= 2x throughput floor only where AVX2 exists)
+# and bench_scaling against tools/perf_baseline_scaling.json (sharded
+# replay counters identical to serial always; the replay speedup floor
+# only on hosts with >= 4 hardware threads).
 #
-# Usage: tools/ci.sh [tier1|tsan|asan|docs|perf-smoke|all]   (default: all)
+# Usage: tools/ci.sh [tier1|tsan|asan|docs|simd|perf-smoke|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,8 +53,20 @@ tsan() {
   cmake --build --preset tsan -j "$(nproc)" --target \
     test_parallel test_determinism test_executor test_rp_kernels \
     test_solvers test_deposit test_kmeans test_telemetry test_checkpoint \
-    test_fleet
+    test_fleet test_eval_engine test_health test_simulation test_wake
   ctest --preset tsan -j 1
+}
+
+simd() {
+  echo "=== simd: forced-scalar tier-1 + whole-tree -mavx2 identity leg ==="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)"
+  BD_SIMD=off ctest --preset default -j "$(nproc)"
+  cmake --preset avx2
+  cmake --build --preset avx2 -j "$(nproc)" --target \
+    test_eval_engine test_determinism test_executor test_rp_kernels \
+    test_solvers test_checkpoint
+  ctest --preset avx2 -j "$(nproc)"
 }
 
 asan() {
@@ -69,6 +92,14 @@ perf_smoke() {
   ./build/bench/bench_fleet \
     --json=BENCH_fleet.json \
     --check-baseline=tools/perf_baseline_fleet.json
+  cmake --build --preset default -j "$(nproc)" --target bench_simd
+  ./build/bench/bench_simd \
+    --json=BENCH_simd.json \
+    --check-baseline=tools/perf_baseline_simd.json
+  cmake --build --preset default -j "$(nproc)" --target bench_scaling
+  ./build/bench/bench_scaling \
+    --json=BENCH_scaling.json \
+    --check-baseline=tools/perf_baseline_scaling.json
 }
 
 case "$stage" in
@@ -76,8 +107,9 @@ case "$stage" in
   tsan) tsan ;;
   asan) asan ;;
   docs) docs ;;
+  simd) simd ;;
   perf-smoke) perf_smoke ;;
-  all) tier1; tsan; asan; docs; perf_smoke ;;
-  *) echo "unknown stage: $stage (want tier1|tsan|asan|docs|perf-smoke|all)" >&2; exit 2 ;;
+  all) tier1; tsan; asan; docs; simd; perf_smoke ;;
+  *) echo "unknown stage: $stage (want tier1|tsan|asan|docs|simd|perf-smoke|all)" >&2; exit 2 ;;
 esac
 echo "CI ($stage) OK"
