@@ -2,16 +2,46 @@
 /// Minimal end-to-end use of the library: build a simulation with the
 /// Predictive-RP solver, run a few steps, and print per-step solver
 /// statistics plus a validation snapshot against the analytic wake.
+///
+/// With `--journal <dir>` the run goes through the fleet supervisor
+/// instead: the job is journaled and checkpointed into <dir>, a step
+/// failure is retried up to `--max-retries` attempts, and re-running the
+/// same command after a crash resumes from the last good checkpoint.
 
 #include <cstdio>
 
 #include "beam/analytic.hpp"
 #include "core/checkpoint.hpp"
+#include "core/fleet.hpp"
 #include "core/predictive.hpp"
 #include "core/simulation.hpp"
 #include "simt/device.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+bd::util::ConsoleTable make_step_table() {
+  return bd::util::ConsoleTable({"step", "kernel intervals", "fallback items",
+                                 "GPU time (model s)", "warp eff %",
+                                 "L1 hit %", "AI", "GFlop/s"});
+}
+
+void append_step_row(bd::util::ConsoleTable& table,
+                     const bd::core::StepStats& stats) {
+  const auto& m = stats.longitudinal.metrics;
+  table.cell(static_cast<std::int64_t>(stats.step))
+      .cell(static_cast<std::int64_t>(stats.longitudinal.kernel_intervals))
+      .cell(static_cast<std::int64_t>(stats.longitudinal.fallback_items))
+      .cell(stats.longitudinal.gpu_seconds, 5)
+      .cell(m.warp_execution_efficiency() * 100.0, 1)
+      .cell(m.l1_hit_rate() * 100.0, 1)
+      .cell(m.arithmetic_intensity(), 2)
+      .cell(m.gflops(), 0);
+  table.end_row();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bd;
@@ -21,6 +51,10 @@ int main(int argc, char** argv) {
   args.add_int("grid", 32, "grid resolution (N_X = N_Y)");
   args.add_int("steps", 3, "simulation steps to run");
   args.add_double("tolerance", 1e-6, "rp-integral error tolerance");
+  args.add_int("max-retries", 3, "retry attempts under --journal supervision");
+  args.add_string("journal", "",
+                  "spool/journal dir: run supervised by a SimulationFleet "
+                  "(crash-safe journal, checkpoint-based retry, resume)");
   if (!args.parse(argc, argv)) return 0;
 
   core::SimConfig config;
@@ -29,6 +63,56 @@ int main(int argc, char** argv) {
   config.ny = config.nx;
   config.tolerance = args.get_double("tolerance");
   config.rigid = true;  // keep the quickstart deterministic and comparable
+
+  const std::string journal_dir = args.get_string("journal");
+  if (!journal_dir.empty()) {
+    // Supervised mode: the fleet journals the job into <journal_dir>,
+    // checkpoints it every step, retries step failures from the last
+    // checkpoint, and — because submit() adopts an incomplete journaled
+    // job of the same name — re-running this command after a crash
+    // resumes where the previous process died.
+    core::FleetOptions options;
+    options.spool_dir = journal_dir;
+    options.quantum_steps = 1;
+    options.checkpoint_every_quanta = 1;
+    core::SimulationFleet fleet(options);
+    for (const auto& job : fleet.recovered()) {
+      std::printf("journal: job '%s' found at step %llu (digest %08x)\n",
+                  job.name.c_str(),
+                  static_cast<unsigned long long>(job.checkpoint_step),
+                  job.digest);
+    }
+
+    util::ConsoleTable table = make_step_table();
+    core::FleetJobSpec spec;
+    spec.name = "quickstart";
+    spec.target_steps = static_cast<std::size_t>(args.get_int("steps"));
+    spec.retry.max_attempts =
+        static_cast<std::uint32_t>(args.get_int("max-retries"));
+    spec.factory = [config]() {
+      return std::make_unique<core::Simulation>(
+          config, std::make_unique<core::PredictiveSolver>(simt::tesla_k40()));
+    };
+    spec.on_step = [&table](const core::StepStats& stats) {
+      append_step_row(table, stats);
+    };
+
+    const core::SimulationFleet::JobId id = fleet.submit(spec);
+    const core::FleetJobStatus status = fleet.wait(id);
+    fleet.drain();
+    table.print();
+    std::printf("\njob '%s': %s after %llu/%llu steps, %u retr%s, digest %08x\n",
+                spec.name.c_str(),
+                status.state == core::FleetJobState::kDone ? "done" : "FAILED",
+                static_cast<unsigned long long>(status.steps_done),
+                static_cast<unsigned long long>(status.target_steps),
+                status.attempts, status.attempts == 1 ? "y" : "ies",
+                status.digest);
+    if (!status.error.empty()) {
+      std::printf("error: %s\n", status.error.c_str());
+    }
+    return status.state == core::FleetJobState::kDone ? 0 : 1;
+  }
 
   auto solver = std::make_unique<core::PredictiveSolver>(simt::tesla_k40());
   core::Simulation sim(config, std::move(solver));
@@ -43,25 +127,14 @@ int main(int argc, char** argv) {
   const std::string& checkpoint_path = args.checkpoint_path();
   const std::int64_t checkpoint_every = args.checkpoint_every();
 
-  util::ConsoleTable table({"step", "kernel intervals", "fallback items",
-                            "GPU time (model s)", "warp eff %", "L1 hit %",
-                            "AI", "GFlop/s"});
+  util::ConsoleTable table = make_step_table();
   for (int k = 0; k < args.get_int("steps"); ++k) {
     const core::StepStats stats = sim.step();
     if (!checkpoint_path.empty() && checkpoint_every > 0 &&
         stats.step % checkpoint_every == 0) {
       core::save_checkpoint(sim, checkpoint_path);
     }
-    const auto& m = stats.longitudinal.metrics;
-    table.cell(static_cast<std::int64_t>(stats.step))
-        .cell(static_cast<std::int64_t>(stats.longitudinal.kernel_intervals))
-        .cell(static_cast<std::int64_t>(stats.longitudinal.fallback_items))
-        .cell(stats.longitudinal.gpu_seconds, 5)
-        .cell(m.warp_execution_efficiency() * 100.0, 1)
-        .cell(m.l1_hit_rate() * 100.0, 1)
-        .cell(m.arithmetic_intensity(), 2)
-        .cell(m.gflops(), 0);
-    table.end_row();
+    append_step_row(table, stats);
   }
   table.print();
 

@@ -1,12 +1,19 @@
 #include "core/fleet.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "core/checkpoint.hpp"
@@ -47,6 +54,56 @@ std::uint32_t fleet_digest_step(const StepStats& stats, std::uint32_t prev) {
 }
 
 // ---------------------------------------------------------------------------
+// Journal records (docs/ROBUSTNESS.md documents this format)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kJournalVersion = 1;
+
+/// Payload layout: u8 kind, then kind-specific fields (BinaryWriter
+/// encoding). The frame around each payload is util/serialize's
+/// append_journal_record. New kinds bump kJournalVersion; a reader
+/// rejects versions above its own (same policy as checkpoints).
+enum class RecordKind : std::uint8_t {
+  kHeader = 0,       ///< u32 version — always the first record
+  kSubmit = 1,       ///< name, target u64, fault_spec, max_attempts, backoff
+  kStart = 2,        ///< name — first quantum began
+  kCheckpoint = 3,   ///< name, step u64, digest u32 — precedes spool write
+  kComplete = 4,     ///< name, steps u64, digest u32
+  kFailAttempt = 5,  ///< name, attempt u32, error — a retry will follow
+  kFailTerminal = 6, ///< name, error — setup failure, never retried
+  kQuarantine = 7,   ///< name, attempts u32, error — retry budget exhausted
+  kCancel = 8,       ///< name
+  kShutdown = 9,     ///< clean drain() — no payload beyond the kind
+  kRetryState = 10,  ///< name, attempts u32, error — written by compaction
+};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Everything the journal knows about one job name during replay.
+struct JournalEntry {
+  std::string name;
+  std::uint64_t target_steps = 0;
+  std::string fault_spec;
+  RetryPolicy retry;
+  std::map<std::uint64_t, std::uint32_t> checkpoints;  ///< step -> digest
+  std::uint32_t attempts = 0;
+  std::string error;
+  /// kQueued = incomplete; otherwise the journaled terminal state.
+  FleetJobState terminal = FleetJobState::kQueued;
+  std::uint64_t final_steps = 0;   ///< from kComplete
+  std::uint32_t final_digest = 0;  ///< from kComplete
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Fleet internals
 // ---------------------------------------------------------------------------
 
@@ -64,11 +121,38 @@ struct SimulationFleet::Job {
   std::atomic<std::size_t> steps_done{0};
   std::atomic<std::uint32_t> digest{0};
   std::atomic<bool> cancel_requested{false};
+  std::atomic<std::uint32_t> attempts{0};
 
-  /// Job-private isolation: telemetry targets and (optional) fault
-  /// harness live as long as the job, surviving eviction — so a
+  /// Watchdog channel. The owning lane publishes `running_sim` with
+  /// release (so the acquire load sees a fully constructed Simulation)
+  /// while the quantum is in flight and clears it (under Impl::mu)
+  /// before every sim.reset(); the driver dereferences it only under
+  /// Impl::mu, so the pointer it reads is never mid-destruction.
+  /// Timestamps are steady-clock nanoseconds (0 = not in a step /
+  /// quantum).
+  std::atomic<Simulation*> running_sim{nullptr};
+  std::atomic<std::uint64_t> quantum_start_ns{0};
+  std::atomic<std::uint64_t> step_start_ns{0};
+  std::atomic<bool> watchdog_flagged{false};
+  /// Mirrors `sim != nullptr`. The owning lane builds the sim outside
+  /// Impl::mu (factory/restore are slow I/O), so other lanes counting
+  /// residents must read this flag, not the unique_ptr itself.
+  std::atomic<bool> sim_live{false};
+
+  /// Lane-owned supervision state (no concurrent access: the single lane
+  /// that holds the job while kRunning, or the single-threaded
+  /// constructor/drain paths, are the only writers).
+  std::map<std::uint64_t, std::uint32_t> checkpoint_digests;
+  std::uint64_t last_ckpt_step = 0;
+  std::uint32_t last_ckpt_digest = 0;
+  std::uint32_t exhausted_streak = 0;  ///< unhealthy steps on the last rung
+  std::size_t quanta_run = 0;
+  bool started_journaled = false;
+
+  /// Job-private isolation: telemetry targets and fault harness live as
+  /// long as the job, surviving eviction and retries — so a
   /// `class[@step][:count]` budget is consumed once per job, never
-  /// re-armed by a resume and never shared with a neighbour sim.
+  /// re-armed by a resume/retry and never shared with a neighbour sim.
   std::unique_ptr<telemetry::MetricsRegistry> metrics =
       std::make_unique<telemetry::MetricsRegistry>();
   std::unique_ptr<telemetry::TraceSession> trace =
@@ -81,28 +165,311 @@ struct SimulationFleet::Job {
 struct SimulationFleet::Impl {
   mutable std::mutex mu;
   std::condition_variable work_cv;  ///< driver: new work or shutdown
-  std::condition_variable done_cv;  ///< waiters: some job became terminal
+  std::condition_variable done_cv;  ///< waiters: a quantum ended / terminal
   std::vector<std::unique_ptr<Job>> jobs;   // guarded by mu (vector itself)
   std::deque<JobId> ready;                  // guarded by mu
+  /// Jobs sitting out a retry backoff: (release_round, id), guarded by mu.
+  std::vector<std::pair<std::uint64_t, JobId>> backoff;
+  std::uint64_t round_counter = 0;          // guarded by mu
   bool stop = false;                        // guarded by mu
   bool stopping = false;  ///< dtor in progress: keep evicted spool files
+  bool draining = false;  ///< drain() in progress/finished: freeze queue
+  bool drained = false;   ///< drain() completed (driver joined)
   std::thread driver;
+
+  /// Journal: appends are serialized by journal_mu alone; mu -> journal_mu
+  /// is the only permitted nesting order.
+  std::mutex journal_mu;
+  std::string journal_path;  ///< "" = journaling disabled
+
+  std::vector<FleetQuarantineEntry> quarantine;       // guarded by mu
+  std::vector<FleetRecoveredJob> recovered_report;    // guarded by mu
+  /// Incomplete journal entries awaiting adoption by a matching submit()
+  /// (only populated when no recovery_factory was given).
+  std::map<std::string, JournalEntry> pending_recovery;  // guarded by mu
+
+  void journal_append(RecordKind kind,
+                      const std::function<void(util::BinaryWriter&)>& fill);
 };
+
+void SimulationFleet::Impl::journal_append(
+    RecordKind kind, const std::function<void(util::BinaryWriter&)>& fill) {
+  if (journal_path.empty()) return;
+  util::BinaryWriter out;
+  out.write_u8(static_cast<std::uint8_t>(kind));
+  if (fill) fill(out);
+  std::lock_guard<std::mutex> lk(journal_mu);
+  util::append_journal_record(journal_path, out.payload());
+}
+
+// ---------------------------------------------------------------------------
+// Construction: stale-tmp sweep, journal replay, compaction
+// ---------------------------------------------------------------------------
 
 SimulationFleet::SimulationFleet(FleetOptions options)
     : options_(std::move(options)), impl_(std::make_unique<Impl>()) {
   if (options_.quantum_steps == 0) options_.quantum_steps = 1;
   BD_CHECK_MSG(options_.max_resident == 0 || !options_.spool_dir.empty(),
                "SimulationFleet: max_resident > 0 requires a spool_dir");
+  if (!options_.spool_dir.empty()) {
+    std::filesystem::create_directories(options_.spool_dir);
+    impl_->journal_path = options_.spool_dir + "/fleet.journal";
+    sweep_stale_tmp_files();
+    recover();
+  }
   impl_->driver = std::thread([this] { driver_loop(); });
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    if (!impl_->ready.empty()) impl_->work_cv.notify_one();
+  }
 }
 
+void SimulationFleet::sweep_stale_tmp_files() {
+  // checked-file writes stage to `<path>.tmp.<pid>.<seq>`; a process that
+  // crashed mid-write leaves the stage file behind forever. Remove stages
+  // whose pid is verifiably dead (bounded, best-effort: an unparseable
+  // name or a live/foreign pid is left alone).
+  namespace fs = std::filesystem;
+  constexpr std::size_t kSweepCap = 1024;
+  std::error_code ec;
+  std::uint64_t removed = 0;
+  std::size_t scanned = 0;
+  for (const auto& entry : fs::directory_iterator(options_.spool_dir, ec)) {
+    if (++scanned > kSweepCap) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const auto tag = name.find(".tmp.");
+    if (tag == std::string::npos) continue;
+    // pid = digits between ".tmp." and the next '.' (or end of name).
+    std::string pid_str = name.substr(tag + 5);
+    if (const auto dot = pid_str.find('.'); dot != std::string::npos) {
+      pid_str = pid_str.substr(0, dot);
+    }
+    if (pid_str.empty() ||
+        pid_str.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const long pid = std::strtol(pid_str.c_str(), nullptr, 10);
+    if (pid <= 0 || pid == static_cast<long>(::getpid())) continue;
+    errno = 0;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) {
+      continue;  // alive (or not ours to judge) — keep the stage file
+    }
+    fs::remove(entry.path(), ec);
+    if (!ec) ++removed;
+  }
+  if (removed > 0) {
+    telemetry::counter_add("fleet.stale_tmp_removed", removed);
+  }
+}
+
+void SimulationFleet::recover() {
+  const util::JournalReadResult replay =
+      util::read_journal_records(impl_->journal_path);
+  if (replay.records.empty() && !std::filesystem::exists(impl_->journal_path)) {
+    // Fresh spool: start the journal with its header record.
+    impl_->journal_append(RecordKind::kHeader, [](util::BinaryWriter& out) {
+      out.write_u32(kJournalVersion);
+    });
+    return;
+  }
+
+  BD_TRACE_SPAN("fleet.recover", "fleet");
+  telemetry::counter_add("fleet.journal_replays");
+
+  // Replay: fold every record into per-name entries. Duplicate terminal
+  // records and re-submits of a finished name are idempotent (last wins);
+  // an unknown record kind means the journal came from a newer build.
+  std::map<std::string, JournalEntry> entries;
+  std::vector<std::string> order;
+  for (const auto& payload : replay.records) {
+    util::BinaryReader in(payload);
+    const auto kind = static_cast<RecordKind>(in.read_u8());
+    if (kind == RecordKind::kHeader) {
+      const std::uint32_t version = in.read_u32();
+      BD_CHECK_MSG(version <= kJournalVersion,
+                   "fleet journal " << impl_->journal_path << " has version "
+                                    << version << ", this build reads <= "
+                                    << kJournalVersion);
+      continue;
+    }
+    if (kind == RecordKind::kShutdown) continue;
+    const std::string name = in.read_string();
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      it = entries.emplace(name, JournalEntry{}).first;
+      it->second.name = name;
+      order.push_back(name);
+    }
+    JournalEntry& entry = it->second;
+    switch (kind) {
+      case RecordKind::kSubmit:
+        entry.target_steps = in.read_u64();
+        entry.fault_spec = in.read_string();
+        entry.retry.max_attempts = in.read_u32();
+        entry.retry.backoff_rounds = in.read_u32();
+        entry.terminal = FleetJobState::kQueued;  // re-submit reopens it
+        break;
+      case RecordKind::kStart:
+        break;
+      case RecordKind::kCheckpoint: {
+        const std::uint64_t step = in.read_u64();
+        entry.checkpoints[step] = in.read_u32();
+        break;
+      }
+      case RecordKind::kComplete:
+        entry.terminal = FleetJobState::kDone;
+        entry.final_steps = in.read_u64();
+        entry.final_digest = in.read_u32();
+        break;
+      case RecordKind::kFailAttempt:
+        entry.attempts = in.read_u32();
+        entry.error = in.read_string();
+        break;
+      case RecordKind::kFailTerminal:
+        entry.terminal = FleetJobState::kFailed;
+        entry.error = in.read_string();
+        break;
+      case RecordKind::kQuarantine:
+        entry.terminal = FleetJobState::kQuarantined;
+        entry.attempts = in.read_u32();
+        entry.error = in.read_string();
+        break;
+      case RecordKind::kCancel:
+        entry.terminal = FleetJobState::kCancelled;
+        break;
+      case RecordKind::kRetryState:
+        entry.attempts = in.read_u32();
+        entry.error = in.read_string();
+        break;
+      default:
+        BD_CHECK_MSG(false, "fleet journal " << impl_->journal_path
+                                             << ": unknown record kind "
+                                             << static_cast<int>(kind));
+    }
+  }
+
+  // Re-enqueue / report. The constructor is single-threaded, so the
+  // members are touched without Impl::mu here.
+  for (const std::string& name : order) {
+    JournalEntry& entry = entries[name];
+    FleetRecoveredJob report;
+    report.name = name;
+    report.state = entry.terminal;
+    report.target_steps = static_cast<std::size_t>(entry.target_steps);
+    if (!entry.checkpoints.empty()) {
+      report.checkpoint_step =
+          static_cast<std::size_t>(entry.checkpoints.rbegin()->first);
+      report.digest = entry.checkpoints.rbegin()->second;
+    }
+    if (entry.terminal == FleetJobState::kDone) {
+      report.checkpoint_step = static_cast<std::size_t>(entry.final_steps);
+      report.digest = entry.final_digest;
+    }
+    report.attempts = entry.attempts;
+    report.error = entry.error;
+
+    if (entry.terminal == FleetJobState::kQueued) {  // incomplete
+      if (options_.recovery_factory) {
+        auto job = std::make_unique<Job>();
+        job->spec.name = name;
+        job->spec.target_steps = static_cast<std::size_t>(entry.target_steps);
+        job->spec.fault_spec = entry.fault_spec;
+        job->spec.retry = entry.retry;
+        job->spec.factory = [factory = options_.recovery_factory, name] {
+          return factory(name);
+        };
+        job->spool_path = options_.spool_dir + "/" + name + ".ckpt";
+        job->checkpoint_digests = entry.checkpoints;
+        if (!entry.checkpoints.empty()) {
+          job->last_ckpt_step = entry.checkpoints.rbegin()->first;
+          job->last_ckpt_digest = entry.checkpoints.rbegin()->second;
+        }
+        job->attempts.store(entry.attempts, std::memory_order_relaxed);
+        job->error = entry.error;
+        job->started_journaled = true;  // submit/start already on disk
+        job->id = impl_->jobs.size();
+        impl_->ready.push_back(job->id);
+        impl_->jobs.push_back(std::move(job));
+        telemetry::counter_add("fleet.recovered");
+        report.resubmitted = true;
+      } else {
+        impl_->pending_recovery[name] = entry;
+      }
+    } else if (entry.terminal == FleetJobState::kQuarantined) {
+      FleetQuarantineEntry q;
+      q.name = name;
+      q.attempts = entry.attempts;
+      q.error = entry.error;
+      const std::string ckpt = options_.spool_dir + "/" + name + ".ckpt";
+      if (std::filesystem::exists(ckpt)) q.checkpoint_path = ckpt;
+      impl_->quarantine.push_back(std::move(q));
+    }
+    impl_->recovered_report.push_back(std::move(report));
+  }
+
+  // Compact: rewrite the journal keeping only what the next recovery
+  // needs — incomplete jobs' submit/retry-state/checkpoint records.
+  // Finished entries live on in recovered() but leave the disk file, so
+  // the journal stays proportional to the open work, not fleet lifetime.
+  const std::string tmp = impl_->journal_path + ".compact.tmp." +
+                          std::to_string(static_cast<long>(::getpid()));
+  std::remove(tmp.c_str());
+  {
+    util::BinaryWriter header;
+    header.write_u8(static_cast<std::uint8_t>(RecordKind::kHeader));
+    header.write_u32(kJournalVersion);
+    util::append_journal_record(tmp, header.payload());
+  }
+  for (const std::string& name : order) {
+    const JournalEntry& entry = entries[name];
+    if (entry.terminal != FleetJobState::kQueued) continue;
+    util::BinaryWriter submit;
+    submit.write_u8(static_cast<std::uint8_t>(RecordKind::kSubmit));
+    submit.write_string(name);
+    submit.write_u64(entry.target_steps);
+    submit.write_string(entry.fault_spec);
+    submit.write_u32(entry.retry.max_attempts);
+    submit.write_u32(entry.retry.backoff_rounds);
+    util::append_journal_record(tmp, submit.payload());
+    if (entry.attempts > 0) {
+      util::BinaryWriter retry;
+      retry.write_u8(static_cast<std::uint8_t>(RecordKind::kRetryState));
+      retry.write_string(name);
+      retry.write_u32(entry.attempts);
+      retry.write_string(entry.error);
+      util::append_journal_record(tmp, retry.payload());
+    }
+    for (const auto& [step, digest] : entry.checkpoints) {
+      util::BinaryWriter ckpt;
+      ckpt.write_u8(static_cast<std::uint8_t>(RecordKind::kCheckpoint));
+      ckpt.write_string(name);
+      ckpt.write_u64(step);
+      ckpt.write_u32(digest);
+      util::append_journal_record(tmp, ckpt.payload());
+    }
+  }
+  BD_CHECK_MSG(std::rename(tmp.c_str(), impl_->journal_path.c_str()) == 0,
+               "cannot rename compacted journal " << tmp << " over "
+                                                  << impl_->journal_path);
+}
+
+// ---------------------------------------------------------------------------
+// Teardown
+// ---------------------------------------------------------------------------
+
 SimulationFleet::~SimulationFleet() {
+  // Plain destruction is the *crash-like* teardown: non-terminal jobs are
+  // cancelled in-memory but NOT journalled as cancelled, and spool files
+  // stay — so the journal still lists them as incomplete and a new fleet
+  // on the same spool dir recovers them. Call drain() first for a clean,
+  // fully-checkpointed shutdown record.
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     impl_->stop = true;
     impl_->stopping = true;
     impl_->ready.clear();
+    impl_->backoff.clear();
     for (auto& job : impl_->jobs) {
       job->cancel_requested.store(true, std::memory_order_relaxed);
       // Queued/evicted jobs are finalized here; running quanta observe
@@ -110,6 +477,8 @@ SimulationFleet::~SimulationFleet() {
       // round — and therefore this join — completes.
       if (!fleet_job_terminal(job->state) &&
           job->state != FleetJobState::kRunning) {
+        job->running_sim.store(nullptr, std::memory_order_relaxed);
+        job->sim_live.store(false, std::memory_order_relaxed);
         job->sim.reset();
         job->state = FleetJobState::kCancelled;
       }
@@ -117,8 +486,12 @@ SimulationFleet::~SimulationFleet() {
   }
   impl_->work_cv.notify_all();
   impl_->done_cv.notify_all();
-  impl_->driver.join();
+  if (impl_->driver.joinable()) impl_->driver.join();
 }
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
 
 SimulationFleet::JobId SimulationFleet::submit(FleetJobSpec spec) {
   BD_CHECK_MSG(!spec.name.empty(), "FleetJobSpec.name must not be empty");
@@ -128,6 +501,8 @@ SimulationFleet::JobId SimulationFleet::submit(FleetJobSpec spec) {
                "FleetJobSpec.factory must not be null");
   BD_CHECK_MSG(spec.target_steps > 0,
                "FleetJobSpec.target_steps must be > 0");
+  BD_CHECK_MSG(spec.retry.max_attempts >= 1,
+               "RetryPolicy.max_attempts must be >= 1");
 
   auto job = std::make_unique<Job>();
   if (!options_.spool_dir.empty()) {
@@ -139,9 +514,38 @@ SimulationFleet::JobId SimulationFleet::submit(FleetJobSpec spec) {
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     BD_CHECK_MSG(!impl_->stop, "submit() on a stopped SimulationFleet");
+    BD_CHECK_MSG(!impl_->draining, "submit() on a drained SimulationFleet");
     for (const auto& existing : impl_->jobs) {
       BD_CHECK_MSG(existing->spec.name != job->spec.name,
                    "duplicate fleet job name: " << job->spec.name);
+    }
+    // A journaled incomplete job with this name (recovered without a
+    // recovery_factory) is adopted: its checkpoint digests and consumed
+    // attempts carry over, and its submit record is already on disk.
+    bool adopted = false;
+    if (auto it = impl_->pending_recovery.find(job->spec.name);
+        it != impl_->pending_recovery.end()) {
+      const JournalEntry& entry = it->second;
+      job->checkpoint_digests = entry.checkpoints;
+      if (!entry.checkpoints.empty()) {
+        job->last_ckpt_step = entry.checkpoints.rbegin()->first;
+        job->last_ckpt_digest = entry.checkpoints.rbegin()->second;
+      }
+      job->attempts.store(entry.attempts, std::memory_order_relaxed);
+      job->started_journaled = true;
+      adopted = true;
+      impl_->pending_recovery.erase(it);
+    }
+    if (!adopted) {
+      const FleetJobSpec& s = job->spec;
+      impl_->journal_append(
+          RecordKind::kSubmit, [&s](util::BinaryWriter& out) {
+            out.write_string(s.name);
+            out.write_u64(static_cast<std::uint64_t>(s.target_steps));
+            out.write_string(s.fault_spec);
+            out.write_u32(s.retry.max_attempts);
+            out.write_u32(s.retry.backoff_rounds);
+          });
     }
     id = impl_->jobs.size();
     job->id = id;
@@ -162,6 +566,7 @@ FleetJobStatus SimulationFleet::poll(JobId id) const {
   status.steps_done = job.steps_done.load(std::memory_order_relaxed);
   status.target_steps = job.spec.target_steps;
   status.digest = job.digest.load(std::memory_order_relaxed);
+  status.attempts = job.attempts.load(std::memory_order_relaxed);
   if (fleet_job_terminal(job.state)) status.error = job.error;
   return status;
 }
@@ -169,6 +574,7 @@ FleetJobStatus SimulationFleet::poll(JobId id) const {
 bool SimulationFleet::cancel(JobId id) {
   bool removed_spool = false;
   std::string spool;
+  std::string name;
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     BD_CHECK_MSG(id < impl_->jobs.size(), "unknown fleet job id " << id);
@@ -176,18 +582,31 @@ bool SimulationFleet::cancel(JobId id) {
     if (fleet_job_terminal(job.state)) return false;
     job.cancel_requested.store(true, std::memory_order_relaxed);
     if (job.state == FleetJobState::kRunning) {
-      // The owning lane finalizes at the next step boundary.
+      // The owning lane finalizes (and journals) at the next step boundary.
       return true;
     }
-    // Queued/evicted: finalize immediately and drop it from the queue.
+    // Queued/evicted/backoff: finalize immediately and drop it.
     for (auto it = impl_->ready.begin(); it != impl_->ready.end(); ++it) {
       if (*it == id) {
         impl_->ready.erase(it);
         break;
       }
     }
+    for (auto it = impl_->backoff.begin(); it != impl_->backoff.end(); ++it) {
+      if (it->second == id) {
+        impl_->backoff.erase(it);
+        break;
+      }
+    }
+    job.running_sim.store(nullptr, std::memory_order_relaxed);
+    job.sim_live.store(false, std::memory_order_relaxed);
     job.sim.reset();
     job.state = FleetJobState::kCancelled;
+    name = job.spec.name;
+    impl_->journal_append(RecordKind::kCancel,
+                          [&name](util::BinaryWriter& out) {
+                            out.write_string(name);
+                          });
     if (!job.spool_path.empty()) {
       spool = job.spool_path;
       removed_spool = true;
@@ -209,6 +628,7 @@ FleetJobStatus SimulationFleet::wait(JobId id) {
   status.steps_done = job.steps_done.load(std::memory_order_relaxed);
   status.target_steps = job.spec.target_steps;
   status.digest = job.digest.load(std::memory_order_relaxed);
+  status.attempts = job.attempts.load(std::memory_order_relaxed);
   status.error = job.error;
   return status;
 }
@@ -221,6 +641,73 @@ void SimulationFleet::wait_all() {
     }
     return true;
   });
+}
+
+void SimulationFleet::drain() {
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  if (impl_->drained) return;
+  BD_TRACE_SPAN("fleet.drain", "fleet");
+  impl_->draining = true;
+  // Freeze the queue: nothing new gets scheduled; in-flight quanta see
+  // `draining` in their fate step, checkpoint themselves and stop.
+  impl_->ready.clear();
+  impl_->backoff.clear();
+  impl_->done_cv.wait(lk, [&] {
+    for (const auto& job : impl_->jobs) {
+      if (job->state == FleetJobState::kRunning) return false;
+    }
+    return true;
+  });
+
+  // Checkpoint the remaining resident, non-terminal jobs (queued jobs
+  // keep their sims resident when max_resident allows). The queue is
+  // frozen and no lane owns them, so this thread may do their I/O.
+  std::vector<Job*> residents;
+  for (auto& job : impl_->jobs) {
+    if (job->sim != nullptr && !fleet_job_terminal(job->state)) {
+      residents.push_back(job.get());
+    }
+  }
+  lk.unlock();
+  for (Job* job : residents) {
+    if (job->spool_path.empty()) continue;
+    const std::uint64_t step = job->steps_done.load(std::memory_order_relaxed);
+    const std::uint32_t digest = job->digest.load(std::memory_order_relaxed);
+    const std::string& name = job->spec.name;
+    impl_->journal_append(RecordKind::kCheckpoint,
+                          [&](util::BinaryWriter& out) {
+                            out.write_string(name);
+                            out.write_u64(step);
+                            out.write_u32(digest);
+                          });
+    save_checkpoint(*job->sim, job->spool_path);
+    job->checkpoint_digests[step] = digest;
+    job->last_ckpt_step = step;
+    job->last_ckpt_digest = digest;
+  }
+  impl_->journal_append(RecordKind::kShutdown, nullptr);
+  lk.lock();
+  for (Job* job : residents) {
+    job->running_sim.store(nullptr, std::memory_order_relaxed);
+    job->sim_live.store(false, std::memory_order_relaxed);
+    job->sim.reset();
+    if (!job->spool_path.empty()) job->state = FleetJobState::kEvicted;
+  }
+  impl_->stop = true;
+  impl_->drained = true;
+  lk.unlock();
+  impl_->work_cv.notify_all();
+  if (impl_->driver.joinable()) impl_->driver.join();
+}
+
+std::vector<FleetQuarantineEntry> SimulationFleet::quarantined() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->quarantine;
+}
+
+std::vector<FleetRecoveredJob> SimulationFleet::recovered() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->recovered_report;
 }
 
 util::telemetry::MetricsSnapshot SimulationFleet::job_metrics(
@@ -249,23 +736,92 @@ void SimulationFleet::driver_loop() {
   telemetry::TraceSession::global().set_current_thread_name("fleet-driver");
   std::unique_lock<std::mutex> lk(impl_->mu);
   for (;;) {
-    impl_->work_cv.wait(lk,
-                        [&] { return impl_->stop || !impl_->ready.empty(); });
-    if (impl_->stop && impl_->ready.empty()) return;
+    impl_->work_cv.wait(lk, [&] {
+      return impl_->stop || !impl_->ready.empty() || !impl_->backoff.empty();
+    });
+    if (impl_->stop) return;
+    ++impl_->round_counter;
+    // Release jobs whose backoff expired; when only backoff jobs remain,
+    // fast-forward the round counter to the earliest release — rounds are
+    // a virtual clock, so an idle fleet never waits wall time for them.
+    auto release_due = [&] {
+      std::stable_sort(impl_->backoff.begin(), impl_->backoff.end());
+      auto it = impl_->backoff.begin();
+      while (it != impl_->backoff.end() &&
+             it->first <= impl_->round_counter) {
+        impl_->ready.push_back(it->second);
+        it = impl_->backoff.erase(it);
+      }
+    };
+    release_due();
+    if (impl_->ready.empty()) {
+      if (impl_->backoff.empty()) continue;
+      impl_->round_counter = impl_->backoff.front().first;
+      release_due();
+    }
     // One round: enough lanes to drain the current backlog, capped at the
     // pool width. Lanes loop popping jobs, so a long backlog still drains
     // in a single round; jobs submitted mid-round start the next one.
     const std::size_t lanes = std::min<std::size_t>(
         impl_->ready.size(), util::ThreadPool::global().num_threads());
     lk.unlock();
-    {
-      telemetry::counter_add("fleet.rounds");
-      BD_TRACE_SPAN("fleet.round", "fleet");
-      util::parallel_for_chunked(
-          0, lanes, 1, [this](std::size_t, std::size_t) { run_lane(); });
-    }
+    run_round(lanes);
     lk.lock();
   }
+}
+
+void SimulationFleet::run_round(std::size_t lanes) {
+  telemetry::counter_add("fleet.rounds");
+  BD_TRACE_SPAN("fleet.round", "fleet");
+  const bool watchdog =
+      options_.step_deadline_ms > 0.0 || options_.quantum_deadline_ms > 0.0;
+  if (!watchdog) {
+    util::parallel_for_chunked(
+        0, lanes, 1, [this](std::size_t, std::size_t) { run_lane(); });
+    return;
+  }
+
+  // Watchdog mode: the round runs on a helper thread while this (driver)
+  // thread polls deadlines. A tripped job is flagged and its sim gets a
+  // cooperative stop request — the owning lane observes it at the next
+  // step boundary and routes the job through the retry path.
+  std::atomic<bool> round_done{false};
+  std::thread round([this, lanes, &round_done] {
+    util::parallel_for_chunked(
+        0, lanes, 1, [this](std::size_t, std::size_t) { run_lane(); });
+    round_done.store(true, std::memory_order_release);
+  });
+  const auto step_deadline =
+      static_cast<std::uint64_t>(options_.step_deadline_ms * 1e6);
+  const auto quantum_deadline =
+      static_cast<std::uint64_t>(options_.quantum_deadline_ms * 1e6);
+  while (!round_done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::uint64_t now = steady_ns();
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    for (const auto& jp : impl_->jobs) {
+      Job& job = *jp;
+      if (job.state != FleetJobState::kRunning) continue;
+      Simulation* sim = job.running_sim.load(std::memory_order_acquire);
+      if (sim == nullptr) continue;
+      bool trip = false;
+      if (step_deadline > 0) {
+        const std::uint64_t t0 =
+            job.step_start_ns.load(std::memory_order_relaxed);
+        trip |= (t0 != 0 && now > t0 && now - t0 > step_deadline);
+      }
+      if (quantum_deadline > 0) {
+        const std::uint64_t t0 =
+            job.quantum_start_ns.load(std::memory_order_relaxed);
+        trip |= (t0 != 0 && now > t0 && now - t0 > quantum_deadline);
+      }
+      if (trip && !job.watchdog_flagged.exchange(true,
+                                                 std::memory_order_relaxed)) {
+        sim->request_stop();
+      }
+    }
+  }
+  round.join();
 }
 
 void SimulationFleet::run_lane() {
@@ -288,53 +844,114 @@ void SimulationFleet::run_quantum(Job& job) {
   // is scoped to the job's private instances via set_telemetry below.
   telemetry::counter_add("fleet.quanta");
   BD_TRACE_SPAN("fleet.quantum", "fleet");
+  const bool watchdog =
+      options_.step_deadline_ms > 0.0 || options_.quantum_deadline_ms > 0.0;
 
   bool failed = false;
+  bool setup_failed = false;
+  bool ladder_exhausted = false;
   if (!job.cancel_requested.load(std::memory_order_relaxed)) {
     try {
       if (!job.sim) {
+        setup_failed = true;  // cleared once the sim is ready to step
         job.sim = job.spec.factory();
         BD_CHECK_MSG(job.sim != nullptr,
                      "fleet job '" << job.spec.name
                                    << "': factory returned null");
+        job.sim_live.store(true, std::memory_order_relaxed);
         job.sim->set_telemetry(job.metrics.get(), job.trace.get());
-        if (!job.spec.fault_spec.empty()) {
-          if (!job.harness) {
-            // Seeded from the sim's own seed: two jobs running the same
-            // spec corrupt different cells, and the budget survives
-            // eviction (the harness does not re-arm on resume).
-            job.harness =
-                std::make_unique<util::faultinject::FaultHarness>();
-            job.harness->install(job.spec.fault_spec,
-                                 job.sim->config().seed);
+        if (!job.harness) {
+          // Every job gets a private harness so one job's fault budget is
+          // never consumed by a neighbour. The spec's plan wins; an empty
+          // spec inherits the process BD_FAULT plan (per-job budget, the
+          // job's own seed); the literal "none" opts the job out.
+          std::string spec = job.spec.fault_spec;
+          if (spec.empty()) {
+            if (const char* env = std::getenv("BD_FAULT"); env != nullptr) {
+              spec = env;
+            }
           }
-          job.sim->set_fault_harness(job.harness.get());
+          if (spec == "none") spec.clear();
+          job.harness = std::make_unique<util::faultinject::FaultHarness>();
+          job.harness->install(spec, job.sim->config().seed);
         }
+        job.sim->set_fault_harness(job.harness.get());
         if (!job.spool_path.empty() &&
             std::filesystem::exists(job.spool_path)) {
           restore_checkpoint(*job.sim, job.spool_path);
-          job.steps_done.store(
-              static_cast<std::size_t>(job.sim->current_step()),
-              std::memory_order_relaxed);
+          const auto step =
+              static_cast<std::size_t>(job.sim->current_step());
+          job.steps_done.store(step, std::memory_order_relaxed);
+          // The journal's digest for this checkpoint, when it has one:
+          // after a retry the in-memory digest has run past the
+          // checkpoint and must rewind with the restored state.
+          if (const auto it = job.checkpoint_digests.find(step);
+              it != job.checkpoint_digests.end()) {
+            job.digest.store(it->second, std::memory_order_relaxed);
+          }
           telemetry::counter_add("fleet.resumes");
         } else if (!job.sim->initialized()) {
           job.sim->initialize();
         }
+        job.exhausted_streak = 0;
+        setup_failed = false;
+        if (!job.started_journaled) {
+          job.started_journaled = true;
+          const std::string& name = job.spec.name;
+          impl_->journal_append(RecordKind::kStart,
+                                [&name](util::BinaryWriter& out) {
+                                  out.write_string(name);
+                                });
+        }
       }
+      ++job.quanta_run;
+      job.watchdog_flagged.store(false, std::memory_order_relaxed);
+      job.sim->clear_stop();
+      if (watchdog) {
+        job.quantum_start_ns.store(steady_ns(), std::memory_order_relaxed);
+      }
+      // Release so the watchdog's acquire load sees a fully constructed
+      // (or fully restored) Simulation before it calls request_stop().
+      job.running_sim.store(job.sim.get(), std::memory_order_release);
+
       std::size_t done = job.steps_done.load(std::memory_order_relaxed);
       std::uint32_t digest = job.digest.load(std::memory_order_relaxed);
       std::size_t ran = 0;
       while (ran < options_.quantum_steps &&
              done < job.spec.target_steps &&
-             !job.cancel_requested.load(std::memory_order_relaxed)) {
+             !job.cancel_requested.load(std::memory_order_relaxed) &&
+             !job.sim->stop_requested()) {
+        if (watchdog) {
+          job.step_start_ns.store(steady_ns(), std::memory_order_relaxed);
+        }
         const StepStats stats = job.sim->step();
         digest = fleet_digest_step(stats, digest);
         ++done;
         ++ran;
         job.steps_done.store(done, std::memory_order_relaxed);
         job.digest.store(digest, std::memory_order_relaxed);
+        if (stats.health && !stats.health->healthy() &&
+            job.sim->num_tiers() > 1 &&
+            stats.health->tier + 1 >= job.sim->num_tiers()) {
+          // Unhealthy on the last rung: the ladder has nowhere left to
+          // go. A sustained streak is a job-level failure — the retry
+          // path restarts from the last good checkpoint.
+          if (++job.exhausted_streak >=
+              job.sim->config().health.demote_after) {
+            ladder_exhausted = true;
+            job.error = "health ladder exhausted: " +
+                        std::to_string(job.exhausted_streak) +
+                        " unhealthy steps on the last tier (step " +
+                        std::to_string(stats.step) + ")";
+            break;
+          }
+        } else {
+          job.exhausted_streak = 0;
+        }
         if (job.spec.on_step) job.spec.on_step(stats);
       }
+      job.step_start_ns.store(0, std::memory_order_relaxed);
+      job.quantum_start_ns.store(0, std::memory_order_relaxed);
     } catch (const std::exception& e) {
       job.error = e.what();
       failed = true;
@@ -344,92 +961,332 @@ void SimulationFleet::run_quantum(Job& job) {
     }
   }
 
-  // Decide the job's fate. Eviction checkpointing does file I/O, so it
-  // happens outside the lock; until then the job stays kRunning and no
-  // other lane can touch it. Once a non-terminal job is pushed back onto
-  // the ready queue another lane may claim it immediately, so everything
-  // after each critical section works from the locally captured
-  // `decided`/`resident` values, never from `job` again.
-  bool evict = false;
+  // ------------------------------------------------------------------
+  // Fate. File I/O (journal appends, checkpoints) happens outside the
+  // lock; until the final state is published under Impl::mu the job
+  // stays kRunning and no other lane can claim it. Once a non-terminal
+  // job is requeued another lane may claim it immediately, so everything
+  // after each critical section works from locally captured values.
+  // ------------------------------------------------------------------
+  enum class Fate {
+    kFailTerminal,   // setup failure: never retried
+    kRetry,          // step failure / ladder exhaustion / watchdog trip
+    kQuarantine,     // retry budget exhausted
+    kCancelled,
+    kComplete,
+    kWatchdog,       // resolved into kRetry/kQuarantine below
+    kDrainStop,      // draining: checkpoint + park
+    kEvict,
+    kRequeue,
+  };
+
+  const std::string& name = job.spec.name;
+  const bool tripped = job.watchdog_flagged.load(std::memory_order_relaxed);
   bool keep_spool_on_cancel = false;
-  FleetJobState decided = FleetJobState::kRunning;
+  bool periodic_ckpt = false;
+  Fate fate = Fate::kRequeue;
   std::size_t resident = 0;
   const auto count_resident = [this] {
     std::size_t n = 0;
-    for (const auto& j : impl_->jobs) n += j->sim != nullptr;
+    for (const auto& j : impl_->jobs)
+      n += j->sim_live.load(std::memory_order_relaxed);
     return n;
   };
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     keep_spool_on_cancel = impl_->stopping;
-    if (failed) {
-      job.sim.reset();
-      decided = FleetJobState::kFailed;
+    if (failed || ladder_exhausted) {
+      fate = setup_failed ? Fate::kFailTerminal : Fate::kRetry;
     } else if (job.cancel_requested.load(std::memory_order_relaxed)) {
-      job.sim.reset();
-      decided = FleetJobState::kCancelled;
+      fate = Fate::kCancelled;
     } else if (job.steps_done.load(std::memory_order_relaxed) >=
                job.spec.target_steps) {
-      job.sim.reset();
-      decided = FleetJobState::kDone;
+      fate = Fate::kComplete;
+    } else if (tripped) {
+      fate = Fate::kWatchdog;
+    } else if (impl_->draining) {
+      fate = Fate::kDrainStop;
     } else if (options_.max_resident > 0 &&
                count_resident() > options_.max_resident) {
-      evict = true;  // stays kRunning until the checkpoint lands
+      fate = Fate::kEvict;
     } else {
-      decided = FleetJobState::kQueued;
-    }
-    if (!evict) {
-      job.state = decided;
-      if (decided == FleetJobState::kQueued) {
-        impl_->ready.push_back(job.id);
-      }
-      resident = count_resident();
+      fate = Fate::kRequeue;
+      periodic_ckpt = options_.checkpoint_every_quanta > 0 &&
+                      !job.spool_path.empty() &&
+                      job.quanta_run % options_.checkpoint_every_quanta == 0;
     }
   }
 
-  if (evict) {
-    try {
-      BD_TRACE_SPAN("fleet.evict", "fleet");
-      save_checkpoint(*job.sim, job.spool_path);
-      telemetry::counter_add("fleet.evictions");
-      decided = FleetJobState::kEvicted;
-    } catch (const std::exception& e) {
-      job.error = e.what();
-      decided = FleetJobState::kFailed;
+  // Retry accounting (shared by step failures, ladder exhaustion and
+  // watchdog trips): one attempt gone; out of budget => quarantine.
+  if (fate == Fate::kRetry || fate == Fate::kWatchdog) {
+    const std::uint32_t attempts =
+        job.attempts.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (fate == Fate::kWatchdog) {
+      telemetry::counter_add("fleet.watchdog_trips");
+      job.error = "watchdog: step/quantum deadline exceeded at step " +
+                  std::to_string(
+                      job.steps_done.load(std::memory_order_relaxed));
+      // The rung that overran is suspect — demote before checkpointing
+      // so the retried job resumes one tier down.
+      job.sim->demote_tier();
+      try {
+        if (!job.spool_path.empty()) {
+          const std::uint64_t step =
+              job.steps_done.load(std::memory_order_relaxed);
+          const std::uint32_t digest =
+              job.digest.load(std::memory_order_relaxed);
+          impl_->journal_append(RecordKind::kCheckpoint,
+                                [&](util::BinaryWriter& out) {
+                                  out.write_string(name);
+                                  out.write_u64(step);
+                                  out.write_u32(digest);
+                                });
+          save_checkpoint(*job.sim, job.spool_path);
+          job.checkpoint_digests[step] = digest;
+          job.last_ckpt_step = step;
+          job.last_ckpt_digest = digest;
+        }
+      } catch (const std::exception& e) {
+        job.error = std::string("watchdog checkpoint failed: ") + e.what();
+      }
     }
-    std::lock_guard<std::mutex> lk(impl_->mu);
-    job.sim.reset();
-    job.state = decided;
-    if (decided == FleetJobState::kEvicted) {
+    fate = attempts >= job.spec.retry.max_attempts ? Fate::kQuarantine
+                                                   : Fate::kRetry;
+    if (fate == Fate::kRetry) {
+      const std::uint32_t attempt = attempts;
+      const std::string& error = job.error;
+      impl_->journal_append(RecordKind::kFailAttempt,
+                            [&](util::BinaryWriter& out) {
+                              out.write_string(name);
+                              out.write_u32(attempt);
+                              out.write_string(error);
+                            });
+    }
+  }
+
+  switch (fate) {
+    case Fate::kFailTerminal: {
+      const std::string& error = job.error;
+      impl_->journal_append(RecordKind::kFailTerminal,
+                            [&](util::BinaryWriter& out) {
+                              out.write_string(name);
+                              out.write_string(error);
+                            });
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      job.running_sim.store(nullptr, std::memory_order_relaxed);
+      job.sim_live.store(false, std::memory_order_relaxed);
+      job.sim.reset();
+      job.state = FleetJobState::kFailed;
+      resident = count_resident();
+      break;
+    }
+
+    case Fate::kQuarantine: {
+      const std::uint32_t attempts =
+          job.attempts.load(std::memory_order_relaxed);
+      const std::string& error = job.error;
+      impl_->journal_append(RecordKind::kQuarantine,
+                            [&](util::BinaryWriter& out) {
+                              out.write_string(name);
+                              out.write_u32(attempts);
+                              out.write_string(error);
+                            });
+      telemetry::counter_add("fleet.quarantined");
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      job.running_sim.store(nullptr, std::memory_order_relaxed);
+      job.sim_live.store(false, std::memory_order_relaxed);
+      job.sim.reset();
+      job.state = FleetJobState::kQuarantined;
+      FleetQuarantineEntry q;
+      q.name = name;
+      q.attempts = attempts;
+      q.error = job.error;
+      // The last good checkpoint stays on disk for postmortem.
+      if (!job.spool_path.empty() &&
+          std::filesystem::exists(job.spool_path)) {
+        q.checkpoint_path = job.spool_path;
+      }
+      impl_->quarantine.push_back(std::move(q));
+      resident = count_resident();
+      break;
+    }
+
+    case Fate::kRetry: {
+      telemetry::counter_add("fleet.retries");
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      job.running_sim.store(nullptr, std::memory_order_relaxed);
+      // Restart from the last good spool checkpoint, or from scratch:
+      // the resident sim's state is suspect (it threw mid-step, ran out
+      // of ladder, or overran a deadline and got demoted+checkpointed —
+      // in every case the next attempt rebuilds from durable state).
+      job.sim_live.store(false, std::memory_order_relaxed);
+      job.sim.reset();
+      job.exhausted_streak = 0;
+      job.watchdog_flagged.store(false, std::memory_order_relaxed);
+      const bool have_ckpt = !job.spool_path.empty() &&
+                             std::filesystem::exists(job.spool_path);
+      job.steps_done.store(
+          have_ckpt ? static_cast<std::size_t>(job.last_ckpt_step) : 0,
+          std::memory_order_relaxed);
+      job.digest.store(have_ckpt ? job.last_ckpt_digest : 0,
+                       std::memory_order_relaxed);
+      job.state = FleetJobState::kQueued;
+      impl_->backoff.emplace_back(
+          impl_->round_counter + job.spec.retry.backoff_rounds, job.id);
+      resident = count_resident();
+      break;
+    }
+
+    case Fate::kCancelled: {
+      if (!keep_spool_on_cancel) {
+        // Not the dtor path: journal the cancellation (the dtor keeps the
+        // journal untouched so a restart can still recover the job).
+        impl_->journal_append(RecordKind::kCancel,
+                              [&name](util::BinaryWriter& out) {
+                                out.write_string(name);
+                              });
+      }
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      job.running_sim.store(nullptr, std::memory_order_relaxed);
+      job.sim_live.store(false, std::memory_order_relaxed);
+      job.sim.reset();
+      job.state = FleetJobState::kCancelled;
+      resident = count_resident();
+      break;
+    }
+
+    case Fate::kComplete: {
+      const std::uint64_t steps =
+          job.steps_done.load(std::memory_order_relaxed);
+      const std::uint32_t digest = job.digest.load(std::memory_order_relaxed);
+      impl_->journal_append(RecordKind::kComplete,
+                            [&](util::BinaryWriter& out) {
+                              out.write_string(name);
+                              out.write_u64(steps);
+                              out.write_u32(digest);
+                            });
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      job.running_sim.store(nullptr, std::memory_order_relaxed);
+      job.sim_live.store(false, std::memory_order_relaxed);
+      job.sim.reset();
+      job.error.clear();  // a retried-then-successful job reports no error
+      job.state = FleetJobState::kDone;
+      resident = count_resident();
+      break;
+    }
+
+    case Fate::kDrainStop:
+    case Fate::kEvict: {
+      FleetJobState decided = FleetJobState::kEvicted;
+      if (!job.spool_path.empty()) {
+        try {
+          BD_TRACE_SPAN("fleet.evict", "fleet");
+          const std::uint64_t step =
+              job.steps_done.load(std::memory_order_relaxed);
+          const std::uint32_t digest =
+              job.digest.load(std::memory_order_relaxed);
+          // Journal first: if the crash lands between the journal append
+          // and the spool write, recovery restores the *previous* spool
+          // file and finds its digest among the journaled checkpoints.
+          impl_->journal_append(RecordKind::kCheckpoint,
+                                [&](util::BinaryWriter& out) {
+                                  out.write_string(name);
+                                  out.write_u64(step);
+                                  out.write_u32(digest);
+                                });
+          save_checkpoint(*job.sim, job.spool_path);
+          job.checkpoint_digests[step] = digest;
+          job.last_ckpt_step = step;
+          job.last_ckpt_digest = digest;
+          telemetry::counter_add("fleet.evictions");
+        } catch (const std::exception& e) {
+          job.error = e.what();
+          decided = FleetJobState::kFailed;
+        }
+      } else {
+        // No spool: nothing durable to write. An evicting fleet cannot
+        // get here (max_resident requires a spool dir); a draining one
+        // just parks the job resident-in-memory.
+        decided = FleetJobState::kQueued;
+      }
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      if (decided != FleetJobState::kQueued) {
+        job.running_sim.store(nullptr, std::memory_order_relaxed);
+        job.sim_live.store(false, std::memory_order_relaxed);
+        job.sim.reset();
+      }
+      job.state = decided;
+      if (fate == Fate::kEvict && decided == FleetJobState::kEvicted) {
+        impl_->ready.push_back(job.id);
+      }
+      fate = decided == FleetJobState::kFailed ? Fate::kFailTerminal : fate;
+      resident = count_resident();
+      break;
+    }
+
+    case Fate::kRequeue: {
+      if (periodic_ckpt) {
+        try {
+          const std::uint64_t step =
+              job.steps_done.load(std::memory_order_relaxed);
+          const std::uint32_t digest =
+              job.digest.load(std::memory_order_relaxed);
+          impl_->journal_append(RecordKind::kCheckpoint,
+                                [&](util::BinaryWriter& out) {
+                                  out.write_string(name);
+                                  out.write_u64(step);
+                                  out.write_u32(digest);
+                                });
+          save_checkpoint(*job.sim, job.spool_path);
+          job.checkpoint_digests[step] = digest;
+          job.last_ckpt_step = step;
+          job.last_ckpt_digest = digest;
+        } catch (const std::exception& e) {
+          // A failed periodic checkpoint is not fatal to the job — the
+          // previous checkpoint (or none) still bounds the replay.
+          job.error = e.what();
+        }
+      }
+      std::lock_guard<std::mutex> lk(impl_->mu);
+      job.running_sim.store(nullptr, std::memory_order_relaxed);
+      job.state = FleetJobState::kQueued;
       impl_->ready.push_back(job.id);
+      resident = count_resident();
+      break;
     }
-    resident = count_resident();
+
+    case Fate::kWatchdog:
+      break;  // unreachable: resolved into kRetry/kQuarantine above
   }
 
   telemetry::gauge_set("fleet.resident", static_cast<double>(resident));
-  switch (decided) {
-    case FleetJobState::kDone:
+  switch (fate) {
+    case Fate::kComplete:
       telemetry::counter_add("fleet.completed");
       if (!job.spool_path.empty()) std::remove(job.spool_path.c_str());
-      impl_->done_cv.notify_all();
       break;
-    case FleetJobState::kCancelled:
+    case Fate::kCancelled:
       telemetry::counter_add("fleet.cancelled");
       // Keep the spool file while the dtor is tearing the fleet down so a
       // restarted process can resubmit and resume the job.
       if (!job.spool_path.empty() && !keep_spool_on_cancel) {
         std::remove(job.spool_path.c_str());
       }
-      impl_->done_cv.notify_all();
       break;
-    case FleetJobState::kFailed:
+    case Fate::kFailTerminal:
       telemetry::counter_add("fleet.failed");
-      impl_->done_cv.notify_all();
+      break;
+    case Fate::kQuarantine:
+      telemetry::counter_add("fleet.failed");
       break;
     default:
       impl_->work_cv.notify_one();
       break;
   }
+  // Every quantum end is an observable event: terminal states unblock
+  // wait()/wait_all(), and drain() waits for running quanta to settle.
+  impl_->done_cv.notify_all();
 }
 
 }  // namespace bd::core

@@ -39,26 +39,81 @@
 /// bit-identical in *physics* (values/errors/fallback work/digest);
 /// SIMT cache-model metrics are address-sensitive and may differ after a
 /// cross-object restore (see tests/test_checkpoint.cpp).
+///
+/// ## Supervision (docs/ROBUSTNESS.md)
+///
+/// With a `spool_dir`, the fleet is a *supervisor*, not just a scheduler:
+///
+///  * **Journal** — every submit/start/checkpoint/complete/fail/cancel is
+///    appended to `<spool_dir>/fleet.journal` (CRC-framed WAL,
+///    util/serialize) before the matching state change lands, so a process
+///    crash loses at most the in-flight quantum. A new fleet on the same
+///    spool dir replays the journal at construction, tolerates the torn
+///    tail record a crash leaves, and — when `recovery_factory` is set —
+///    re-enqueues every incomplete job from its last good checkpoint.
+///  * **Retry + quarantine** — a step exception or an exhausted health
+///    ladder costs one attempt of the job's RetryPolicy: the supervisor
+///    restores the last spool checkpoint (re-initializes when none) and
+///    re-enqueues after `backoff_rounds` *scheduler rounds* (never wall
+///    time — healthy-job fleet≡solo bitwise determinism is preserved).
+///    Jobs out of attempts move to the quarantine list, keeping their
+///    final checkpoint and failure report for postmortem.
+///  * **Watchdog** — with step/quantum deadlines set, the driver polls
+///    in-flight quanta; an overrunning job is stopped cooperatively at
+///    the next step boundary (Simulation stop token), demoted one ladder
+///    rung, checkpointed and retried. `BD_FAULT="slow_step@N:ms"`
+///    exercises the trip deterministically.
+///  * **Drain** — drain() checkpoints every resident job, journals a
+///    clean shutdown, and freezes the queue; a fleet rebuilt on the same
+///    spool dir resumes every job bit-identically in physics digest.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/simulation.hpp"
 #include "util/telemetry.hpp"
 
 namespace bd::core {
 
+/// Per-job retry budget. Attempt 1 is the initial run; each step
+/// exception, health-ladder exhaustion or watchdog trip consumes one
+/// attempt and re-enqueues the job `backoff_rounds` scheduler rounds
+/// later. Setup failures (null/throwing factory, failed restore or
+/// initialize) are never retried — they would fail identically again.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 3;   ///< total attempts (1 = never retry)
+  std::uint32_t backoff_rounds = 1; ///< rounds to sit out between attempts
+};
+
 /// Fleet-wide knobs.
 struct FleetOptions {
   /// Soft cap on concurrently live Simulation objects (0 = unlimited).
   /// Transient overshoot up to the number of pool lanes is possible.
   std::size_t max_resident = 0;
-  /// Directory for eviction checkpoints. Required when max_resident > 0.
+  /// Directory for eviction checkpoints and the job journal. Required
+  /// when max_resident > 0; journaling is active iff non-empty.
   std::string spool_dir;
   /// Steps a job runs per scheduling quantum (min 1).
   std::size_t quantum_steps = 4;
+  /// Checkpoint every resident job each N-th of its quanta (0 = only on
+  /// eviction/drain/retry). Bounds replay loss after a crash to N quanta.
+  std::size_t checkpoint_every_quanta = 0;
+  /// Watchdog deadlines in wall-clock milliseconds (0 = disabled): a
+  /// single step, or a whole quantum, exceeding its deadline trips the
+  /// watchdog — the job is stopped at the next step boundary, demoted
+  /// one ladder rung, checkpointed, and the trip costs one retry attempt.
+  double step_deadline_ms = 0.0;
+  double quantum_deadline_ms = 0.0;
+  /// When set, recover() re-enqueues every incomplete journaled job at
+  /// construction, building its Simulation with this factory (the spec's
+  /// own factory is not serializable). Without it, incomplete jobs are
+  /// only reported via recovered(), and a submit() with a matching name
+  /// adopts the journaled digests/attempts.
+  std::function<std::unique_ptr<Simulation>(const std::string& name)>
+      recovery_factory;
 };
 
 /// One queued scenario.
@@ -71,16 +126,22 @@ struct FleetJobSpec {
   std::function<std::unique_ptr<Simulation>()> factory;
   /// Total steps to run.
   std::size_t target_steps = 0;
-  /// Optional BD_FAULT-grammar plan installed into a job-private harness
-  /// seeded from the sim's own config seed ("" = no fault injection).
+  /// BD_FAULT-grammar plan installed into a job-private harness seeded
+  /// from the sim's own config seed. "" inherits the process `BD_FAULT`
+  /// environment spec (still into a private harness, so budgets stay
+  /// per-job); the literal "none" makes the job explicitly fault-free.
   std::string fault_spec;
   /// Optional per-step observer, called on the running thread after each
   /// step with that step's stats (tests use it to capture KernelMetrics).
   std::function<void(const StepStats&)> on_step;
+  /// Retry budget for step failures / ladder exhaustion / watchdog trips.
+  RetryPolicy retry;
 };
 
 /// Job lifecycle. kQueued covers both never-started and requeued-resident
-/// jobs; kEvicted is a queued job whose state lives in the spool.
+/// jobs (including those sitting out a retry backoff); kEvicted is a
+/// queued job whose state lives in the spool. kQuarantined is kFailed
+/// after an exhausted retry budget, with the final checkpoint retained.
 enum class FleetJobState : std::uint8_t {
   kQueued = 0,
   kRunning = 1,
@@ -88,12 +149,13 @@ enum class FleetJobState : std::uint8_t {
   kDone = 3,
   kCancelled = 4,
   kFailed = 5,
+  kQuarantined = 6,
 };
 
 /// True for states a job can never leave.
 constexpr bool fleet_job_terminal(FleetJobState s) {
   return s == FleetJobState::kDone || s == FleetJobState::kCancelled ||
-         s == FleetJobState::kFailed;
+         s == FleetJobState::kFailed || s == FleetJobState::kQuarantined;
 }
 
 /// Snapshot of one job's progress.
@@ -104,7 +166,32 @@ struct FleetJobStatus {
   /// Chained physics digest over all completed steps (see
   /// fleet_digest_step) — survives eviction/resume bit-identically.
   std::uint32_t digest = 0;
-  std::string error;  ///< what() of the failing step (kFailed only)
+  std::string error;  ///< what() of the failing step (kFailed/kQuarantined)
+  /// Attempts consumed so far (0 until the first failure/trip).
+  std::uint32_t attempts = 0;
+};
+
+/// Postmortem record of a job that exhausted its retry budget.
+struct FleetQuarantineEntry {
+  std::string name;
+  std::uint32_t attempts = 0;
+  std::string error;            ///< what() of the final failure
+  std::string checkpoint_path;  ///< last good spool checkpoint ("" if none)
+};
+
+/// One journaled job as seen by recover() at construction.
+struct FleetRecoveredJob {
+  std::string name;
+  /// Journaled terminal state, or kQueued for an incomplete job.
+  FleetJobState state = FleetJobState::kQueued;
+  std::size_t target_steps = 0;
+  /// Step/digest of the last journaled checkpoint (0/0 when none).
+  std::size_t checkpoint_step = 0;
+  std::uint32_t digest = 0;
+  std::uint32_t attempts = 0;
+  std::string error;
+  /// True when recovery_factory re-enqueued the job at construction.
+  bool resubmitted = false;
 };
 
 /// Fold one step's deterministic physics outputs into a running CRC32
@@ -148,6 +235,21 @@ class SimulationFleet {
   /// Block until every submitted job is terminal.
   void wait_all();
 
+  /// Graceful shutdown: stop scheduling, wait for in-flight quanta,
+  /// checkpoint every resident non-terminal job into the spool, journal a
+  /// clean-shutdown record, and join the driver. The fleet is frozen
+  /// afterward (submit() throws; non-terminal jobs stay queued/evicted) —
+  /// a new fleet on the same spool dir resumes them bit-identically in
+  /// physics digest. Idempotent.
+  void drain();
+
+  /// Postmortem list of jobs that exhausted their retry budget.
+  std::vector<FleetQuarantineEntry> quarantined() const;
+
+  /// What recover() found in the journal at construction (empty when the
+  /// fleet has no spool dir or the journal did not exist).
+  std::vector<FleetRecoveredJob> recovered() const;
+
   /// Deterministic merged snapshot of the job's private metrics registry
   /// (sim.* counters/histograms of that job only).
   util::telemetry::MetricsSnapshot job_metrics(JobId id) const;
@@ -159,7 +261,10 @@ class SimulationFleet {
   struct Job;
   struct Impl;
 
+  void recover();
+  void sweep_stale_tmp_files();
   void driver_loop();
+  void run_round(std::size_t lanes);
   void run_lane();
   void run_quantum(Job& job);
 

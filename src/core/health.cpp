@@ -101,6 +101,14 @@ void DegradationLadder::reset() {
   healthy_streak_ = 0;
 }
 
+bool DegradationLadder::force_demote() {
+  unhealthy_streak_ = 0;
+  healthy_streak_ = 0;
+  if (tier_ + 1 >= num_tiers_) return false;  // already on the last rung
+  ++tier_;
+  return true;
+}
+
 void DegradationLadder::save(util::BinaryWriter& out) const {
   out.write_u32(num_tiers_);
   out.write_u32(tier_);

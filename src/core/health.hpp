@@ -130,6 +130,12 @@ class DegradationLadder {
   /// Back to tier 0 with clean streaks (independent runs).
   void reset();
 
+  /// Supervisor-driven demotion: move one rung down immediately (no streak
+  /// accounting) and reset both streaks. Returns true if a demotion
+  /// happened, false when already on the last rung. Used by the fleet
+  /// watchdog when a job overruns its step deadline.
+  bool force_demote();
+
   void save(util::BinaryWriter& out) const;
   void load(util::BinaryReader& in);
 

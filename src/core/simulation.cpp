@@ -1,8 +1,10 @@
 #include "core/simulation.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <limits>
+#include <thread>
 
 #include "beam/force.hpp"
 #include "beam/push.hpp"
@@ -260,6 +262,15 @@ StepStats Simulation::step() {
 
   telemetry::TraceSpan step_span("sim.step", "sim");
   step_span.arg("step", static_cast<std::int64_t>(step_));
+  if (util::faultinject::enabled()) {
+    // slow_step[@step][:count] — stall this step by `count` milliseconds.
+    // Exercises the fleet quantum watchdog without depending on a real
+    // pathological refinement loop.
+    if (auto inj = util::faultinject::fire(
+            util::faultinject::FaultClass::kSlowStep, step_)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(inj->count));
+    }
+  }
   util::WallTimer phase_timer;
 
   // (1) particle deposition.
@@ -370,8 +381,26 @@ StepStats Simulation::step() {
 std::vector<StepStats> Simulation::run(std::size_t n) {
   std::vector<StepStats> all;
   all.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) all.push_back(step());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (stop_requested()) break;
+    all.push_back(step());
+  }
   return all;
+}
+
+void Simulation::demote_tier() {
+  if (fallback_solvers_.empty()) return;
+  const telemetry::TelemetryScope scope(metrics_, trace_);
+  const std::uint32_t from = ladder_.tier();
+  if (!ladder_.force_demote()) return;
+  telemetry::counter_add("health.demotions");
+  // Mirror the in-step demotion: the abandoned tier's learned state is
+  // suspect (it just overran or misbehaved) and the MAE baseline with it.
+  (from == 0 ? *solver_ : *fallback_solvers_[from - 1]).reset();
+  health_monitor_.reset();
+  telemetry::gauge_set("health.tier", static_cast<double>(ladder_.tier()));
+  BD_LOG_WARN << "health: supervisor demoting solver tier " << from << " -> "
+              << ladder_.tier() << " (step " << step_ << ")";
 }
 
 }  // namespace bd::core

@@ -5,6 +5,7 @@
 /// gather self-forces → push. Owns the particle set, the moment-grid
 /// history and the per-step statistics the benchmarks report.
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -147,6 +148,24 @@ class Simulation {
   /// Whether initialize() has run (directly or via checkpoint restore).
   bool initialized() const { return initialized_; }
 
+  /// Cooperative stop token. request_stop() may be called from any thread
+  /// (e.g. the fleet watchdog); run() checks it between steps and returns
+  /// early with the steps completed so far. The token is NOT consulted by
+  /// a single step() call — stops land on step boundaries only, keeping
+  /// every completed step bit-identical to an uninterrupted run.
+  void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+  void clear_stop() { stop_requested_.store(false, std::memory_order_relaxed); }
+
+  /// Supervisor-driven demotion: push the ladder one rung down (toward
+  /// simpler solvers) without waiting for an unhealthy streak. The
+  /// abandoned tier's solver and the MAE baseline are reset, mirroring the
+  /// in-step demotion path. No-op on the last rung or when no fallbacks
+  /// are installed. Used by the fleet watchdog after a step-deadline trip.
+  void demote_tier();
+
  private:
   friend void save_checkpoint(const Simulation& sim, const std::string& path);
   friend void restore_checkpoint(Simulation& sim, const std::string& path);
@@ -177,6 +196,7 @@ class Simulation {
   DegradationLadder ladder_;
   std::int64_t step_ = 0;
   bool initialized_ = false;
+  std::atomic<bool> stop_requested_{false};
   /// Scoped telemetry/fault targets (see set_telemetry); nullptr = ambient.
   util::telemetry::MetricsRegistry* metrics_ = nullptr;
   util::telemetry::TraceSession* trace_ = nullptr;

@@ -1,6 +1,7 @@
 #include "util/faultinject.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <mutex>
 #include <vector>
@@ -26,19 +27,31 @@ FaultClass parse_class(const std::string& token) {
   if (token == "forecast") return FaultClass::kForecastCorrupt;
   if (token == "checkpoint_truncate") return FaultClass::kCheckpointTruncate;
   if (token == "pool_throw") return FaultClass::kPoolThrow;
+  if (token == "slow_step") return FaultClass::kSlowStep;
   BD_CHECK_MSG(false, "BD_FAULT: unknown fault class '"
                           << token
                           << "' (want grid_nan|forecast|checkpoint_truncate|"
-                             "pool_throw)");
+                             "pool_throw|slow_step)");
   return FaultClass::kGridNan;  // unreachable
 }
 
-std::int64_t parse_int(const std::string& token, const char* what) {
-  BD_CHECK_MSG(!token.empty(), "BD_FAULT: empty " << what);
+std::int64_t parse_int(const std::string& token, const char* what,
+                       const std::string& fault) {
+  // Digits only: strtoll would silently accept leading whitespace or '+',
+  // which in a BD_FAULT spec is far more likely a typo than intent.
+  bool digits_only = !token.empty();
+  for (const char c : token) digits_only &= (c >= '0' && c <= '9');
+  BD_CHECK_MSG(digits_only, "BD_FAULT: bad " << what << " '" << token
+                                             << "' in fault '" << fault
+                                             << "' (want a non-negative "
+                                                "decimal integer)");
+  errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(token.c_str(), &end, 10);
-  BD_CHECK_MSG(end == token.c_str() + token.size() && v >= 0,
-               "BD_FAULT: bad " << what << " '" << token << "'");
+  BD_CHECK_MSG(errno != ERANGE && end == token.c_str() + token.size() &&
+                   v >= 0,
+               "BD_FAULT: " << what << " '" << token << "' in fault '" << fault
+                            << "' is out of range");
   return static_cast<std::int64_t>(v);
 }
 
@@ -48,14 +61,18 @@ Entry parse_fault(const std::string& token, std::size_t index,
   std::string body = token;
   Entry entry;
   if (const auto colon = body.find(':'); colon != std::string::npos) {
-    entry.count =
-        static_cast<std::uint32_t>(parse_int(body.substr(colon + 1), "count"));
-    BD_CHECK_MSG(entry.count > 0, "BD_FAULT: count must be > 0 in '" << token
+    const std::int64_t count = parse_int(body.substr(colon + 1), "count",
+                                         token);
+    BD_CHECK_MSG(count > 0, "BD_FAULT: count must be > 0 in fault '" << token
                                                                      << "'");
+    BD_CHECK_MSG(count <= 0xFFFFFFFFll,
+                 "BD_FAULT: count '" << count << "' in fault '" << token
+                                     << "' exceeds the u32 limit");
+    entry.count = static_cast<std::uint32_t>(count);
     body = body.substr(0, colon);
   }
   if (const auto at = body.find('@'); at != std::string::npos) {
-    entry.step = parse_int(body.substr(at + 1), "step");
+    entry.step = parse_int(body.substr(at + 1), "step", token);
     body = body.substr(0, at);
   }
   entry.cls = parse_class(body);
@@ -95,20 +112,27 @@ FaultHarness& FaultHarness::default_harness() {
 }
 
 void FaultHarness::install(const std::string& spec, std::uint64_t seed_base) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  impl_->entries.clear();
+  // Parse into a scratch list first so a malformed spec throws without
+  // half-installing a plan (the previous plan is replaced only on success).
+  std::vector<Entry> parsed;
   std::size_t begin = 0;
+  std::size_t index = 0;
   while (begin <= spec.size() && !spec.empty()) {
     std::size_t end = spec.find(';', begin);
     if (end == std::string::npos) end = spec.size();
     const std::string token = spec.substr(begin, end - begin);
-    if (!token.empty()) {
-      impl_->entries.push_back(
-          parse_fault(token, impl_->entries.size(), seed_base));
-    }
+    // An empty entry ("grid_nan;;pool_throw", or a trailing ';') is a
+    // mangled spec, not a no-op — failing silently here reads as "fault
+    // armed" when nothing is.
+    BD_CHECK_MSG(!token.empty(), "BD_FAULT: empty fault entry #"
+                                     << (index + 1) << " in spec '" << spec
+                                     << "'");
+    parsed.push_back(parse_fault(token, index++, seed_base));
     if (end == spec.size()) break;
     begin = end + 1;
   }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->entries = std::move(parsed);
   impl_->armed.store(!impl_->entries.empty(), std::memory_order_relaxed);
 }
 

@@ -12,6 +12,7 @@
 ///   spec   := fault (';' fault)*
 ///   fault  := class [ '@' step ] [ ':' count ]
 ///   class  := grid_nan | forecast | checkpoint_truncate | pool_throw
+///           | slow_step
 ///
 /// e.g. `BD_FAULT="grid_nan@3:8;pool_throw@5"` poisons 8 moment-grid cells
 /// with NaN at step 3 and throws from a pool job at step 5. Each fault
@@ -46,6 +47,8 @@ enum class FaultClass : std::uint8_t {
   kForecastCorrupt = 1,  ///< scramble forecast patterns (predictive solver)
   kCheckpointTruncate = 2,  ///< crash mid-checkpoint-write (serialize)
   kPoolThrow = 3,        ///< throw from a thread-pool job body (forecast)
+  kSlowStep = 4,  ///< stall a step by `count` milliseconds (simulation) —
+                  ///< exercises the fleet quantum watchdog deterministically
 };
 
 /// Parameters of a fired fault.

@@ -296,4 +296,81 @@ std::vector<std::byte> read_checked_file(const std::string& path,
   return std::vector<std::byte>(payload.begin(), payload.end());
 }
 
+// ---------------------------------------------------------------------------
+// Append-only CRC-framed journal
+// ---------------------------------------------------------------------------
+
+void append_journal_record(const std::string& path,
+                           std::span<const std::byte> payload) {
+  BinaryWriter frame;
+  frame.write_u32(kJournalMarker);
+  frame.write_u32(static_cast<std::uint32_t>(payload.size()));
+  frame.write_u32(crc32(payload));
+  FileHandle f(std::fopen(path.c_str(), "ab"));
+  BD_CHECK_MSG(f != nullptr, "cannot open journal " << path << " for append");
+  const auto header = frame.payload();
+  const bool ok =
+      std::fwrite(header.data(), 1, header.size(), f.get()) == header.size() &&
+      (payload.empty() ||
+       std::fwrite(payload.data(), 1, payload.size(), f.get()) ==
+           payload.size()) &&
+      std::fflush(f.get()) == 0;
+  BD_CHECK_MSG(ok, "short append to journal " << path);
+}
+
+JournalReadResult read_journal_records(const std::string& path) {
+  JournalReadResult result;
+  FileHandle f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return result;  // no journal yet: zero records
+  std::vector<std::byte> file;
+  std::byte chunk[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f.get())) > 0) {
+    file.insert(file.end(), chunk, chunk + n);
+  }
+  BD_CHECK_MSG(std::ferror(f.get()) == 0, "read error on journal " << path);
+
+  constexpr std::size_t kFrameHeader = 12;  // marker + size + crc
+  std::size_t offset = 0;
+  while (offset < file.size()) {
+    // A frame that cannot fully fit in the remaining bytes is a torn tail
+    // append — tolerated. Anything else inconsistent is corruption.
+    if (file.size() - offset < kFrameHeader) {
+      result.truncated_tail = true;
+      break;
+    }
+    BinaryReader header(
+        std::span<const std::byte>(file.data() + offset, kFrameHeader));
+    const std::uint32_t marker = header.read_u32();
+    BD_CHECK_MSG(marker == kJournalMarker,
+                 path << ": bad journal frame marker 0x" << std::hex << marker
+                      << " at byte offset " << std::dec << offset);
+    const std::uint32_t size = header.read_u32();
+    const std::uint32_t stored_crc = header.read_u32();
+    if (file.size() - offset - kFrameHeader < size) {
+      result.truncated_tail = true;
+      break;
+    }
+    const std::span<const std::byte> payload(file.data() + offset +
+                                                 kFrameHeader,
+                                             size);
+    const std::uint32_t actual_crc = crc32(payload);
+    if (actual_crc != stored_crc) {
+      // A torn write can flush a full-length frame with garbage bytes; a
+      // CRC mismatch on the very last frame is that case. Mid-file, it is
+      // corruption and must fail loudly.
+      if (offset + kFrameHeader + size == file.size()) {
+        result.truncated_tail = true;
+        break;
+      }
+      BD_CHECK_MSG(false, path << ": journal frame CRC mismatch at byte offset "
+                               << offset << " — stored 0x" << std::hex
+                               << stored_crc << ", computed 0x" << actual_crc);
+    }
+    result.records.emplace_back(payload.begin(), payload.end());
+    offset += kFrameHeader + size;
+  }
+  return result;
+}
+
 }  // namespace bd::util

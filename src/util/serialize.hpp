@@ -109,4 +109,41 @@ std::vector<std::byte> read_checked_file(const std::string& path,
                                          std::uint32_t magic,
                                          std::uint32_t& version_out);
 
+// ---------------------------------------------------------------------------
+// Append-only CRC-framed journal (write-ahead log)
+// ---------------------------------------------------------------------------
+//
+// A journal is a sequence of independently validated record frames:
+//
+//   [marker u32][payload_size u32][crc32 u32][payload bytes]
+//
+// appended (and flushed) one frame at a time, so a crash mid-append can
+// only ever damage the *last* frame. Readers therefore tolerate a
+// truncated or corrupt tail frame — the torn write a crash leaves behind
+// — but treat any damaged frame *followed by more bytes* as real
+// corruption and throw. The payload encoding is the caller's
+// (BinaryWriter/BinaryReader); see docs/ROBUSTNESS.md for the fleet
+// journal's record layout.
+
+/// Frame marker "BDJL" (little-endian on disk).
+inline constexpr std::uint32_t kJournalMarker = 0x4C4A4442u;
+
+/// Append one framed record to the journal at `path` (created when
+/// missing) and flush it. Throws bd::CheckError on I/O failure.
+void append_journal_record(const std::string& path,
+                           std::span<const std::byte> payload);
+
+/// Every record payload recovered from a journal, in append order.
+struct JournalReadResult {
+  std::vector<std::vector<std::byte>> records;
+  /// True when the file ended in a torn frame (crash mid-append). The
+  /// complete prefix in `records` is still valid.
+  bool truncated_tail = false;
+};
+
+/// Read and validate a journal. A missing file yields zero records; a
+/// torn tail frame sets `truncated_tail`; a damaged frame with more data
+/// after it throws bd::CheckError naming the byte offset.
+JournalReadResult read_journal_records(const std::string& path);
+
 }  // namespace bd::util

@@ -195,6 +195,117 @@ TEST_F(CheckedFileTest, ConcurrentWritersToSamePathNeverCorrupt) {
 }
 
 // ---------------------------------------------------------------------------
+// Append-only CRC-framed journal (write-ahead log)
+// ---------------------------------------------------------------------------
+
+/// Corruption matrix for the journal framing, mirroring the checked-file
+/// matrix above: round trip, torn tail (tolerated), mid-file damage
+/// (loud failure).
+class JournalFrameTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "bd_journal_frame_test.wal";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static std::vector<std::byte> record(std::uint64_t tag) {
+    util::BinaryWriter out;
+    out.write_string("journal record");
+    out.write_u64(tag);
+    return {out.payload().begin(), out.payload().end()};
+  }
+
+  void flip_byte_at(std::int64_t offset_from_start) {
+    std::fstream file(path_, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(offset_from_start);
+    char byte = 0;
+    file.get(byte);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.seekp(offset_from_start);
+    file.put(byte);
+  }
+};
+
+TEST_F(JournalFrameTest, AppendReadRoundTrip) {
+  util::append_journal_record(path_, record(1));
+  util::append_journal_record(path_, record(2));
+  util::append_journal_record(path_, record(3));
+  const util::JournalReadResult result = util::read_journal_records(path_);
+  EXPECT_FALSE(result.truncated_tail);
+  ASSERT_EQ(result.records.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(result.records[i], record(i + 1));
+  }
+}
+
+TEST_F(JournalFrameTest, MissingFileYieldsNoRecords) {
+  const util::JournalReadResult result = util::read_journal_records(path_);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_FALSE(result.truncated_tail);
+}
+
+TEST_F(JournalFrameTest, TruncatedTailHeaderTolerated) {
+  // Crash after writing only part of the last frame *header*: the intact
+  // prefix records survive and the tail is flagged, not fatal.
+  util::append_journal_record(path_, record(1));
+  util::append_journal_record(path_, record(2));
+  const auto full = std::filesystem::file_size(path_);
+  const auto last = record(2).size() + 12;  // frame header is 12 bytes
+  std::filesystem::resize_file(path_, full - last + 5);
+  const util::JournalReadResult result = util::read_journal_records(path_);
+  EXPECT_TRUE(result.truncated_tail);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0], record(1));
+}
+
+TEST_F(JournalFrameTest, TruncatedTailPayloadTolerated) {
+  // Crash mid-payload of the last frame.
+  util::append_journal_record(path_, record(1));
+  util::append_journal_record(path_, record(2));
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 3);
+  const util::JournalReadResult result = util::read_journal_records(path_);
+  EXPECT_TRUE(result.truncated_tail);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0], record(1));
+}
+
+TEST_F(JournalFrameTest, GarbageTailFrameTolerated) {
+  // A torn write can land a full-length frame of garbage bytes: the CRC
+  // catches it, and because it is the *last* frame it is tolerated.
+  util::append_journal_record(path_, record(1));
+  util::append_journal_record(path_, record(2));
+  const auto full = std::filesystem::file_size(path_);
+  flip_byte_at(static_cast<std::int64_t>(full) - 1);
+  const util::JournalReadResult result = util::read_journal_records(path_);
+  EXPECT_TRUE(result.truncated_tail);
+  ASSERT_EQ(result.records.size(), 1u);
+}
+
+TEST_F(JournalFrameTest, MidFileCorruptionThrows) {
+  // The same bit flip in a frame *followed by more records* is real
+  // corruption, not a torn append — it must fail loudly.
+  util::append_journal_record(path_, record(1));
+  const auto first = std::filesystem::file_size(path_);
+  util::append_journal_record(path_, record(2));
+  flip_byte_at(static_cast<std::int64_t>(first) - 1);
+  EXPECT_THROW(util::read_journal_records(path_), bd::CheckError);
+}
+
+TEST_F(JournalFrameTest, BadMarkerThrows) {
+  util::append_journal_record(path_, record(1));
+  flip_byte_at(0);
+  EXPECT_THROW(util::read_journal_records(path_), bd::CheckError);
+}
+
+TEST_F(JournalFrameTest, EmptyPayloadRecordRoundTrips) {
+  util::append_journal_record(path_, {});
+  util::append_journal_record(path_, record(9));
+  const util::JournalReadResult result = util::read_journal_records(path_);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_TRUE(result.records[0].empty());
+  EXPECT_EQ(result.records[1], record(9));
+}
+
+// ---------------------------------------------------------------------------
 // Full-simulation checkpointing
 // ---------------------------------------------------------------------------
 

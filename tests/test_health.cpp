@@ -134,6 +134,61 @@ TEST_F(FaultInjectTest, MalformedSpecThrows) {
   EXPECT_THROW(util::faultinject::install("grid_nan:0"), bd::CheckError);
 }
 
+// Expect install(spec) to throw and the error text to include every one of
+// `needles` — the message must name the bad token, not just say "bad spec".
+void expect_parse_error(const std::string& spec,
+                        std::initializer_list<const char*> needles) {
+  try {
+    util::faultinject::install(spec);
+    FAIL() << "spec '" << spec << "' was accepted";
+  } catch (const bd::CheckError& e) {
+    const std::string message = e.what();
+    for (const char* needle : needles) {
+      EXPECT_NE(message.find(needle), std::string::npos)
+          << "error for spec '" << spec << "' does not name '" << needle
+          << "': " << message;
+    }
+  }
+}
+
+TEST_F(FaultInjectTest, ParseErrorMatrixNamesTheBadToken) {
+  // Unknown class — message must carry the offending token and the menu.
+  expect_parse_error("gridnan", {"gridnan", "slow_step"});
+  expect_parse_error("grid_nan;bogus@3", {"bogus"});
+  // Malformed step.
+  expect_parse_error("grid_nan@", {"step", "grid_nan@"});
+  expect_parse_error("grid_nan@-2", {"step", "-2"});
+  expect_parse_error("grid_nan@1x", {"step", "1x"});
+  expect_parse_error("grid_nan@ 3", {"step"});
+  // Malformed count.
+  expect_parse_error("pool_throw:", {"count", "pool_throw:"});
+  expect_parse_error("pool_throw:zero", {"count", "zero"});
+  expect_parse_error("pool_throw:+4", {"count", "+4"});
+  expect_parse_error("slow_step:0", {"count", "slow_step:0"});
+  expect_parse_error("slow_step:4294967296", {"count", "u32"});
+  // Empty entries are mangled specs, not no-ops.
+  expect_parse_error(";", {"empty fault entry"});
+  expect_parse_error("grid_nan;;pool_throw", {"empty fault entry"});
+  expect_parse_error("grid_nan;", {"empty fault entry"});
+}
+
+TEST_F(FaultInjectTest, MalformedSpecLeavesPreviousPlanInstalled) {
+  util::faultinject::install("grid_nan@3");
+  EXPECT_THROW(util::faultinject::install("grid_nan;bogus"), bd::CheckError);
+  // The good plan survives the failed install.
+  EXPECT_TRUE(util::faultinject::enabled());
+  EXPECT_TRUE(util::faultinject::fire(
+      util::faultinject::FaultClass::kGridNan, 3).has_value());
+}
+
+TEST_F(FaultInjectTest, SlowStepClassParsesAndFires) {
+  util::faultinject::install("slow_step@5:25");
+  const auto fired =
+      util::faultinject::fire(util::faultinject::FaultClass::kSlowStep, 5);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->count, 25u);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end containment, one case per failure class
 // ---------------------------------------------------------------------------

@@ -11,6 +11,11 @@
 # restore, fault injection, input parsers — handles corrupt/adversarial
 # bytes, so memory errors hide there first.
 #
+# A faults stage reruns the fleet-supervisor suite under an ambient
+# BD_FAULT sweep (grid_nan, forecast, slow_step, pool_throw): tests that
+# pin a fault spec must stay deterministic, the rest must absorb each
+# ambient class through the retry/quarantine machinery.
+#
 # A docs stage checks docs consistency (tools/check_docs.sh): every
 # telemetry name documented in docs/METRICS.md, no dead markdown links.
 #
@@ -34,7 +39,7 @@
 # replay counters identical to serial always; the replay speedup floor
 # only on hosts with >= 4 hardware threads).
 #
-# Usage: tools/ci.sh [tier1|tsan|asan|docs|simd|perf-smoke|all]   (default: all)
+# Usage: tools/ci.sh [tier1|tsan|asan|faults|docs|simd|perf-smoke|all]   (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,6 +72,16 @@ simd() {
     test_eval_engine test_determinism test_executor test_rp_kernels \
     test_solvers test_checkpoint
   ctest --preset avx2 -j "$(nproc)"
+}
+
+faults() {
+  echo "=== faults: fleet supervisor suite under a BD_FAULT sweep ==="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" --target test_fleet
+  for spec in "grid_nan@2:8" "forecast@3:2" "slow_step@2:40" "pool_throw@3"; do
+    echo "--- BD_FAULT=$spec ---"
+    BD_FAULT="$spec" ./build/tests/test_fleet
+  done
 }
 
 asan() {
@@ -106,10 +121,11 @@ case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
   asan) asan ;;
+  faults) faults ;;
   docs) docs ;;
   simd) simd ;;
   perf-smoke) perf_smoke ;;
-  all) tier1; tsan; asan; docs; simd; perf_smoke ;;
-  *) echo "unknown stage: $stage (want tier1|tsan|asan|docs|simd|perf-smoke|all)" >&2; exit 2 ;;
+  all) tier1; tsan; asan; faults; docs; simd; perf_smoke ;;
+  *) echo "unknown stage: $stage (want tier1|tsan|asan|faults|docs|simd|perf-smoke|all)" >&2; exit 2 ;;
 esac
 echo "CI ($stage) OK"
