@@ -1,0 +1,422 @@
+/// Clustering-engine benchmark, two phases:
+///
+///  1. **Solver fidelity** (64² grid, drifting bunch): the full predictive
+///     solver with the coreset/pruned/warm-start clustering accel off
+///     (reference) and on (shipped default). The accel must not trade
+///     forecast quality for speed: its total fallback items must be
+///     identical-or-better, and its per-step clustering time lower.
+///
+///  2. **Clustering scaling** (64²/128²/256², synthetic drifting pattern
+///     fields): per-step cost of RP-CLUSTERING proper. The reference
+///     configuration trains Lloyd on the *full* point set — the paper's
+///     literal O(N·k·d)-per-iteration Algorithm 1, which is what the
+///     host-side clustering cost looks like without subsampling — while
+///     the accel path trains on a 512-point D² coreset with pruned Lloyd
+///     and warm-started centroids. Both pay the same feature build,
+///     balanced assignment and full-set inertia accounting, so the
+///     speedup is what a solver step actually saves. Gates: ≥ 5× faster
+///     at 128² and 256² with identical-or-better full-set inertia.
+///
+/// Writes **BENCH_clustering.json**. Wall times vary with the machine, so
+/// the baseline (`--check-baseline=tools/perf_baseline_clustering.json`)
+/// pins ratios and counts, not milliseconds: the speedup floor, the
+/// accel/reference inertia ratio ceiling, and the fidelity fallback-item
+/// ceiling (deterministic, 2% slack for neighbouring re-baselines).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/clustering.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/telemetry.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// Phase-1 measurement of one predictive-solver configuration.
+struct FidelityResult {
+  std::string mode;
+  std::size_t steps = 0;
+  std::uint64_t fallback_items = 0;
+  double clustering_ms_per_step = 0.0;
+};
+
+/// Phase-2 measurement of one grid size.
+struct ScalingResult {
+  std::uint32_t grid = 0;
+  std::size_t points = 0;
+  std::size_t clusters = 0;
+  std::size_t steps = 0;
+  double reference_ms_per_step = 0.0;
+  double accel_ms_per_step = 0.0;
+  double reference_inertia = 0.0;  ///< mean full-set inertia over steps
+  double accel_inertia = 0.0;
+  std::size_t accel_coreset_size = 0;
+  std::size_t warm_started_steps = 0;
+
+  double speedup() const {
+    return accel_ms_per_step > 0.0
+               ? reference_ms_per_step / accel_ms_per_step
+               : 0.0;
+  }
+  double inertia_ratio() const {
+    return reference_inertia > 0.0 ? accel_inertia / reference_inertia : 1.0;
+  }
+};
+
+/// Mirror of the predictive solver's automatic cluster count: one cluster
+/// per resident block's worth of points, clamped to a sane range.
+std::size_t cluster_count(std::size_t points) {
+  return std::clamp<std::size_t>(points / 2048, 4, 1024);
+}
+
+/// Synthetic access-pattern field for step `step`: a radial demand bump
+/// that drifts outward and breathes between steps (the way the evolving
+/// bunch moves quadrature demand across the grid), plus deterministic
+/// per-point noise. Patterns vary smoothly in space — the property
+/// RP-CLUSTERING exploits — but no two steps are identical, so the
+/// warm-start path re-trains every step like production.
+bd::core::PatternField drifting_patterns(std::uint32_t grid, std::size_t pdim,
+                                         std::size_t step) {
+  const std::size_t n = static_cast<std::size_t>(grid) * grid;
+  bd::core::PatternField field(n, pdim);
+  bd::util::Rng rng(0xC0FFEEull * (step + 1) + grid);
+  const double drift = 0.01 * static_cast<double>(step);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i % grid) / grid - 0.5;
+    const double y = static_cast<double>(i / grid) / grid - 0.5;
+    const double r = std::sqrt(x * x + y * y);
+    auto pattern = field.at(i);
+    for (std::size_t j = 0; j < pdim; ++j) {
+      const double center =
+          0.1 + drift + 0.35 * static_cast<double>(j) / pdim;
+      const double bump = std::exp(-40.0 * (r - center) * (r - center));
+      pattern[j] = 2.0 + 10.0 * bump + 0.1 * rng.uniform();
+    }
+  }
+  return field;
+}
+
+/// Time `steps` clustering calls (after one discarded warm-up call) and
+/// average wall time and full-set inertia over the measured steps.
+void run_scaling_mode(std::uint32_t grid, std::size_t pdim, std::size_t steps,
+                      const bd::core::RpClusteringOptions& options,
+                      bd::core::ClusteringCache* cache, double& ms_per_step,
+                      double& mean_inertia, std::size_t& coreset_size,
+                      std::size_t& warm_steps) {
+  using namespace bd;
+  core::RpClusteringOptions opts = options;
+  opts.accel.cache = cache;
+  ms_per_step = 0.0;
+  mean_inertia = 0.0;
+  coreset_size = 0;
+  warm_steps = 0;
+  for (std::size_t s = 0; s < steps + 1; ++s) {
+    const core::PatternField field = drifting_patterns(grid, pdim, s);
+    util::WallTimer timer;
+    const core::ClusterAssignment result =
+        core::rp_clustering(field, {}, {}, opts);
+    const double seconds = timer.seconds();
+    if (s == 0) continue;  // warm-up: first-touch + cold caches
+    ms_per_step += seconds * 1e3;
+    mean_inertia += result.inertia;
+    coreset_size = std::max(coreset_size, result.coreset_size);
+    if (result.warm_started) ++warm_steps;
+  }
+  ms_per_step /= static_cast<double>(steps);
+  mean_inertia /= static_cast<double>(steps);
+}
+
+/// Fixed-schema scan of a baseline written by this binary: returns the
+/// integer following `"<key>":` inside the object anchored by `anchor`
+/// (e.g. `"grid": 256`). Returns -1 when anchor or key is missing.
+long long baseline_value(const std::string& text, const std::string& anchor,
+                         const std::string& key) {
+  std::size_t at = text.find(anchor);
+  if (at == std::string::npos) return -1;
+  const std::size_t end = text.find('}', at);
+  const std::string needle = "\"" + key + "\":";
+  at = text.find(needle, at);
+  if (at == std::string::npos || (end != std::string::npos && at > end)) {
+    return -1;
+  }
+  return std::strtoll(text.c_str() + at + needle.size(), nullptr, 10);
+}
+
+std::string read_file(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bd;
+
+  util::ArgParser args("bench_clustering",
+                       "Coreset/pruned/warm-start clustering engine gates");
+  args.add_int("fidelity-grid", 64, "phase-1 grid resolution");
+  args.add_int("particles", 20000, "phase-1 macro-particles");
+  args.add_int("warmup", 2, "phase-1 discarded steps");
+  args.add_int("measure", 4, "phase-1 measured steps");
+  args.add_int("steps", 5, "phase-2 measured clustering steps per grid");
+  args.add_int("subregions", 16, "phase-2 pattern dimensions");
+  args.add_int("coreset", 512, "phase-2 accel coreset size");
+  args.add_string("json", "BENCH_clustering.json", "JSON output path");
+  args.add_string("check-baseline", "",
+                  "baseline JSON; exit 1 on speedup/inertia/fallback "
+                  "regression");
+  if (!args.parse(argc, argv)) return 0;
+
+  util::telemetry::set_metrics_enabled(true);
+  const auto fidelity_grid =
+      static_cast<std::uint32_t>(args.get_int("fidelity-grid"));
+  const auto particles = static_cast<std::size_t>(args.get_int("particles"));
+  const std::size_t warmup = static_cast<std::size_t>(args.get_int("warmup"));
+  const std::size_t measure =
+      static_cast<std::size_t>(args.get_int("measure"));
+  const std::size_t steps = static_cast<std::size_t>(args.get_int("steps"));
+  const std::size_t pdim =
+      static_cast<std::size_t>(args.get_int("subregions"));
+  const std::size_t coreset =
+      static_cast<std::size_t>(args.get_int("coreset"));
+
+  // --- phase 1: solver fidelity, accel off vs on ---------------------------
+  std::printf(
+      "clustering engine — phase 1: predictive solver fidelity "
+      "(%ux%u grid, %zu particles, %zu+%zu steps)\n",
+      fidelity_grid, fidelity_grid, particles, warmup, measure);
+  const core::SimConfig config = bench::bench_config(
+      fidelity_grid, particles, 1e-6, /*rigid=*/false);
+  std::vector<FidelityResult> fidelity;
+  for (const bool accel_on : {false, true}) {
+    core::PredictiveOptions options;
+    options.cluster_accel = accel_on;
+    const bench::SolverMeasurement m =
+        bench::measure_solver("predictive", config, warmup, measure, options);
+    FidelityResult r;
+    r.mode = accel_on ? "accel" : "reference";
+    r.steps = m.steps;
+    r.fallback_items = m.fallback_items;
+    r.clustering_ms_per_step =
+        m.clustering_seconds / static_cast<double>(m.steps) * 1e3;
+    fidelity.push_back(r);
+  }
+  util::ConsoleTable fidelity_table(
+      {"mode", "fallback items", "clustering ms/step"});
+  for (const FidelityResult& r : fidelity) {
+    fidelity_table.cell(r.mode)
+        .cell(static_cast<double>(r.fallback_items), 0)
+        .cell(r.clustering_ms_per_step, 3);
+    fidelity_table.end_row();
+  }
+  fidelity_table.print();
+
+  // --- phase 2: clustering scaling, full-set Lloyd vs coreset accel --------
+  std::printf(
+      "\nphase 2: per-step RP-CLUSTERING, full-set Lloyd vs coreset accel "
+      "(%zu steps, %zu pattern dims)\n",
+      steps, pdim);
+  const std::vector<std::uint32_t> grids{64, 128, 256};
+  std::vector<ScalingResult> scaling;
+  util::ConsoleTable scaling_table({"grid", "points", "clusters", "ref ms",
+                                    "accel ms", "speedup", "inertia ratio",
+                                    "warm steps"});
+  for (const std::uint32_t grid : grids) {
+    ScalingResult r;
+    r.grid = grid;
+    r.points = static_cast<std::size_t>(grid) * grid;
+    r.clusters = cluster_count(r.points);
+    r.steps = steps;
+
+    core::RpClusteringOptions reference;
+    reference.clusters = r.clusters;
+    reference.balanced = true;
+    reference.seed = 42;
+    // The paper's Algorithm 1 trains on every point; this is the cost the
+    // coreset path is built to avoid.
+    reference.train_subsample = r.points;
+    std::size_t ignored_coreset = 0;
+    std::size_t ignored_warm = 0;
+    run_scaling_mode(grid, pdim, steps, reference, nullptr,
+                     r.reference_ms_per_step, r.reference_inertia,
+                     ignored_coreset, ignored_warm);
+
+    core::RpClusteringOptions accel = reference;
+    accel.accel.enabled = true;
+    accel.accel.coreset_size = coreset;
+    core::ClusteringCache cache;  // persists across steps → warm starts
+    run_scaling_mode(grid, pdim, steps, accel, &cache, r.accel_ms_per_step,
+                     r.accel_inertia, r.accel_coreset_size,
+                     r.warm_started_steps);
+
+    scaling_table.cell(static_cast<double>(grid), 0)
+        .cell(static_cast<double>(r.points), 0)
+        .cell(static_cast<double>(r.clusters), 0)
+        .cell(r.reference_ms_per_step, 3)
+        .cell(r.accel_ms_per_step, 3)
+        .cell(r.speedup(), 2)
+        .cell(r.inertia_ratio(), 4)
+        .cell(static_cast<double>(r.warm_started_steps), 0);
+    scaling_table.end_row();
+    scaling.push_back(r);
+  }
+  scaling_table.print();
+
+  // --- JSON ----------------------------------------------------------------
+  const std::string json_path = args.get_string("json");
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"benchmark\": \"clustering-engine\",\n");
+  std::fprintf(json,
+               "  \"config\": {\"fidelity_grid\": %u, \"particles\": %zu, "
+               "\"warmup\": %zu, \"measure\": %zu, \"steps\": %zu, "
+               "\"subregions\": %zu, \"coreset\": %zu},\n",
+               fidelity_grid, particles, warmup, measure, steps, pdim,
+               coreset);
+  std::fprintf(json, "  \"solver_fidelity\": [\n");
+  for (std::size_t i = 0; i < fidelity.size(); ++i) {
+    const FidelityResult& r = fidelity[i];
+    std::fprintf(json,
+                 "    {\"mode\": \"%s\", \"measured_steps\": %zu,\n"
+                 "     \"fallback_items_total\": %llu,\n"
+                 "     \"clustering_ms_per_step\": %.3f}%s\n",
+                 r.mode.c_str(), r.steps,
+                 static_cast<unsigned long long>(r.fallback_items),
+                 r.clustering_ms_per_step,
+                 i + 1 < fidelity.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingResult& r = scaling[i];
+    std::fprintf(
+        json,
+        "    {\"grid\": %u, \"points\": %zu, \"clusters\": %zu, "
+        "\"measured_steps\": %zu,\n"
+        "     \"reference_ms_per_step\": %.3f, \"accel_ms_per_step\": "
+        "%.3f,\n"
+        "     \"speedup_x100\": %lld, \"inertia_ratio_x1000\": %lld,\n"
+        "     \"reference_inertia\": %.6g, \"accel_inertia\": %.6g,\n"
+        "     \"coreset_size\": %zu, \"warm_started_steps\": %zu}%s\n",
+        r.grid, r.points, r.clusters, r.steps, r.reference_ms_per_step,
+        r.accel_ms_per_step,
+        static_cast<long long>(std::llround(r.speedup() * 100.0)),
+        static_cast<long long>(std::llround(r.inertia_ratio() * 1000.0)),
+        r.reference_inertia, r.accel_inertia, r.accel_coreset_size,
+        r.warm_started_steps, i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  // --- gates ---------------------------------------------------------------
+  int failures = 0;
+  // Fidelity: the accel must never pay more fallback work than the
+  // reference configuration in the same run.
+  if (fidelity.size() == 2 &&
+      fidelity[1].fallback_items > fidelity[0].fallback_items) {
+    std::fprintf(stderr,
+                 "FAIL fidelity: accel fallback items %llu exceed the "
+                 "reference %llu\n",
+                 static_cast<unsigned long long>(fidelity[1].fallback_items),
+                 static_cast<unsigned long long>(fidelity[0].fallback_items));
+    ++failures;
+  }
+  for (const ScalingResult& r : scaling) {
+    if (r.grid < 128) continue;  // 64² is report-only (training ≈ noise)
+    if (r.speedup() < 5.0) {
+      std::fprintf(stderr,
+                   "FAIL scaling %u²: speedup %.2fx below the 5x floor\n",
+                   r.grid, r.speedup());
+      ++failures;
+    }
+    if (r.inertia_ratio() > 1.0) {
+      std::fprintf(stderr,
+                   "FAIL scaling %u²: accel inertia %.6g worse than "
+                   "reference %.6g (ratio %.4f > 1)\n",
+                   r.grid, r.accel_inertia, r.reference_inertia,
+                   r.inertia_ratio());
+      ++failures;
+    }
+  }
+
+  const std::string baseline_path = args.get_string("check-baseline");
+  if (!baseline_path.empty()) {
+    const std::string baseline = read_file(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    // Fallback counts are deterministic; 2% slack absorbs intentional
+    // re-baselines of neighbouring subsystems, not noise.
+    const long long base_fallback =
+        baseline_value(baseline, "\"mode\": \"accel\"", "max_fallback_items");
+    if (base_fallback < 0) {
+      std::fprintf(stderr, "baseline %s has no accel max_fallback_items\n",
+                   baseline_path.c_str());
+      ++failures;
+    } else {
+      const unsigned long long limit =
+          static_cast<unsigned long long>(base_fallback) / 100ull * 102ull;
+      if (fidelity.size() == 2 && fidelity[1].fallback_items > limit) {
+        std::fprintf(stderr,
+                     "FAIL fidelity: accel fallback items %llu exceed "
+                     "baseline %lld (+2%% = %llu)\n",
+                     static_cast<unsigned long long>(
+                         fidelity[1].fallback_items),
+                     base_fallback, limit);
+        ++failures;
+      }
+    }
+    for (const ScalingResult& r : scaling) {
+      const std::string anchor =
+          "\"grid\": " + std::to_string(r.grid);
+      const long long min_speedup =
+          baseline_value(baseline, anchor, "min_speedup_x100");
+      const long long max_ratio =
+          baseline_value(baseline, anchor, "max_inertia_ratio_x1000");
+      if (min_speedup < 0 && max_ratio < 0) continue;  // report-only grid
+      if (min_speedup >= 0 &&
+          std::llround(r.speedup() * 100.0) < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL scaling %u²: speedup %.2fx below baseline floor "
+                     "%.2fx\n",
+                     r.grid, r.speedup(),
+                     static_cast<double>(min_speedup) / 100.0);
+        ++failures;
+      }
+      if (max_ratio >= 0 &&
+          std::llround(r.inertia_ratio() * 1000.0) > max_ratio) {
+        std::fprintf(stderr,
+                     "FAIL scaling %u²: inertia ratio %.4f above baseline "
+                     "ceiling %.4f\n",
+                     r.grid, r.inertia_ratio(),
+                     static_cast<double>(max_ratio) / 1000.0);
+        ++failures;
+      }
+    }
+    std::printf("baseline check vs %s: %s\n", baseline_path.c_str(),
+                failures == 0 ? "OK" : "FAILED");
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -26,7 +26,7 @@ namespace bd::core {
 
 /// Checked-file magic "BDCP" and the current payload format version.
 inline constexpr std::uint32_t kCheckpointMagic = 0x50434442u;
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Atomically write `sim`'s complete state to `path`.
 /// Throws bd::CheckError on I/O failure (an existing file is untouched).

@@ -3,12 +3,121 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/coreset.hpp"
 #include "ml/kmeans.hpp"
+#include "ml/linalg.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace bd::core {
 
 namespace {
+
+/// Fixed grain for the inertia reduction (thread-count-independent chunk
+/// boundaries, partials reduced serially in chunk order).
+constexpr std::size_t kInertiaChunk = 2048;
+
+/// Full-set inertia of a fixed assignment: Σ‖x_i − c_{a(i)}‖². This is
+/// the figure of merit both training paths are compared on (the coreset
+/// path optimizes a weighted estimate of it, the stride path a subsample
+/// of it), so ClusterAssignment reports it rather than either training
+/// surrogate. Deterministic at any thread count.
+double assignment_inertia(std::span<const double> features, std::size_t n,
+                          std::size_t dim, std::span<const double> centroids,
+                          std::span<const std::uint32_t> assignment) {
+  const std::size_t chunks = (n + kInertiaChunk - 1) / kInertiaChunk;
+  std::vector<double> partial(chunks, 0.0);
+  util::parallel_for_chunked(0, n, kInertiaChunk,
+                             [&](std::size_t lo, std::size_t hi) {
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc += ml::squared_distance(
+          features.subspan(i * dim, dim),
+          centroids.subspan(assignment[i] * dim, dim));
+    }
+    partial[lo / kInertiaChunk] = acc;
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+/// Centroid training shared by rp_clustering and rp_clustering_tiled.
+struct TrainedCentroids {
+  ml::KMeansResult result;
+  std::size_t coreset_size = 0;  ///< 0 = legacy stride path
+  bool warm_started = false;
+};
+
+TrainedCentroids train_centroids(std::span<const double> features,
+                                 std::size_t n, std::size_t dim,
+                                 std::size_t k, std::uint64_t seed,
+                                 std::size_t train_subsample,
+                                 const ClusteringAccel& accel) {
+  TrainedCentroids out;
+  ml::KMeansConfig config;
+  config.clusters = k;
+  config.balanced = false;
+  config.seed = seed;
+  config.max_iterations = 15;
+
+  if (!accel.enabled) {
+    // Legacy path, kept bitwise unchanged: train on a stride subsample.
+    const std::size_t sample_target =
+        std::max<std::size_t>(k, std::min(n, train_subsample));
+    const std::size_t stride = std::max<std::size_t>(1, n / sample_target);
+    std::vector<double> sample;
+    sample.reserve((n / stride + 1) * dim);
+    std::size_t sample_count = 0;
+    for (std::size_t i = 0; i < n; i += stride) {
+      sample.insert(sample.end(),
+                    features.begin() + static_cast<std::ptrdiff_t>(i * dim),
+                    features.begin() +
+                        static_cast<std::ptrdiff_t>((i + 1) * dim));
+      ++sample_count;
+    }
+    out.result = ml::kmeans(sample, sample_count, dim, config);
+    return out;
+  }
+
+  // Accelerated path: D² weighted coreset + pruned Lloyd + warm seeds.
+  config.pruned = true;
+  ml::CoresetConfig coreset_config;
+  coreset_config.target_size = accel.coreset_size;
+  coreset_config.min_size = k;
+  coreset_config.seed = seed ^ 0x9E3779B97F4A7C15ull;
+  const ml::Coreset coreset = ml::d2_coreset(features, n, dim, coreset_config);
+  const std::vector<double> rows =
+      ml::gather_rows(features, dim, coreset.indices);
+  out.coreset_size = coreset.size();
+
+  ClusteringCache* cache = accel.cache;
+  const bool can_warm = cache != nullptr && cache->valid() &&
+                        cache->dim == dim &&
+                        cache->centroids.size() == k * dim;
+  if (can_warm) {
+    out.result = ml::kmeans_weighted(rows, coreset.size(), dim,
+                                     coreset.weights, cache->centroids,
+                                     config);
+    out.warm_started = true;
+    if (out.result.inertia > cache->inertia * accel.warm_inertia_growth) {
+      // The patterns drifted too far for the cached centroids to be
+      // useful seeds — fall back to k-means++ on the same coreset.
+      out.result = ml::kmeans_weighted(rows, coreset.size(), dim,
+                                       coreset.weights, {}, config);
+      out.warm_started = false;
+    }
+  } else {
+    out.result = ml::kmeans_weighted(rows, coreset.size(), dim,
+                                     coreset.weights, {}, config);
+  }
+  if (cache != nullptr) {
+    cache->centroids = out.result.centroids;
+    cache->dim = dim;
+    cache->inertia = out.result.inertia;
+  }
+  return out;
+}
 
 /// Build the (pattern ⊕ weighted coordinates) feature matrix.
 std::vector<double> build_features(const PatternField& patterns,
@@ -83,37 +192,25 @@ ClusterAssignment rp_clustering(const PatternField& patterns,
   const std::vector<double> features =
       build_features(patterns, xs, ys, options.spatial_weight, dim);
 
-  // Train centroids on a stride subsample.
-  const std::size_t sample_target =
-      std::max<std::size_t>(k, std::min(n, options.train_subsample));
-  const std::size_t stride = std::max<std::size_t>(1, n / sample_target);
-  std::vector<double> sample;
-  sample.reserve((n / stride + 1) * dim);
-  std::size_t sample_count = 0;
-  for (std::size_t i = 0; i < n; i += stride) {
-    sample.insert(sample.end(), features.begin() + static_cast<std::ptrdiff_t>(i * dim),
-                  features.begin() + static_cast<std::ptrdiff_t>((i + 1) * dim));
-    ++sample_count;
-  }
-
-  ml::KMeansConfig config;
-  config.clusters = k;
-  config.balanced = false;
-  config.seed = options.seed;
-  config.max_iterations = 15;
-  const ml::KMeansResult trained =
-      ml::kmeans(sample, sample_count, dim, config);
+  // Train centroids (stride subsample, or coreset/warm-start when the
+  // acceleration is enabled).
+  const TrainedCentroids trained = train_centroids(
+      features, n, dim, k, options.seed, options.train_subsample,
+      options.accel);
 
   // Balance-assign the full point set to the trained centroids.
   const std::size_t capacity =
       options.balanced ? (n + k - 1) / k : 0;
   const std::vector<std::uint32_t> assignment = ml::assign_balanced(
-      features, n, dim, trained.centroids, k, capacity);
+      features, n, dim, trained.result.centroids, k, capacity);
 
   ClusterAssignment result;
   result.members.resize(k);
-  result.inertia = trained.inertia;
-  result.kmeans_iterations = trained.iterations;
+  result.inertia = assignment_inertia(features, n, dim,
+                                      trained.result.centroids, assignment);
+  result.kmeans_iterations = trained.result.iterations;
+  result.coreset_size = trained.coreset_size;
+  result.warm_started = trained.warm_started;
   for (std::size_t i = 0; i < n; ++i) {
     result.members[assignment[i]].push_back(static_cast<std::uint32_t>(i));
   }
@@ -197,33 +294,22 @@ ClusterAssignment rp_clustering_tiled(const PatternField& patterns,
   BD_CHECK_MSG(capacity * k >= num_tiles,
                "tile capacity insufficient: increase clusters");
 
-  // Train centroids on a tile subsample, then balance-assign all tiles.
-  const std::size_t sample_target =
-      std::max<std::size_t>(k, std::min(num_tiles, options.train_subsample));
-  const std::size_t stride = std::max<std::size_t>(1, num_tiles / sample_target);
-  std::vector<double> sample;
-  std::size_t sample_count = 0;
-  for (std::size_t t = 0; t < num_tiles; t += stride) {
-    sample.insert(sample.end(),
-                  tile_features.begin() + static_cast<std::ptrdiff_t>(t * fdim),
-                  tile_features.begin() +
-                      static_cast<std::ptrdiff_t>((t + 1) * fdim));
-    ++sample_count;
-  }
-  ml::KMeansConfig config;
-  config.clusters = k;
-  config.balanced = false;
-  config.seed = options.seed;
-  config.max_iterations = 15;
-  const ml::KMeansResult trained =
-      ml::kmeans(sample, sample_count, fdim, config);
+  // Train centroids on the tiles (stride subsample, or coreset/warm-start
+  // when the acceleration is enabled), then balance-assign all tiles.
+  const TrainedCentroids trained = train_centroids(
+      tile_features, num_tiles, fdim, k, options.seed,
+      options.train_subsample, options.accel);
   const std::vector<std::uint32_t> tile_assignment = ml::assign_balanced(
-      tile_features, num_tiles, fdim, trained.centroids, k, capacity);
+      tile_features, num_tiles, fdim, trained.result.centroids, k, capacity);
 
   ClusterAssignment result;
   result.members.resize(k);
-  result.inertia = trained.inertia;
-  result.kmeans_iterations = trained.iterations;
+  result.inertia =
+      assignment_inertia(tile_features, num_tiles, fdim,
+                         trained.result.centroids, tile_assignment);
+  result.kmeans_iterations = trained.result.iterations;
+  result.coreset_size = trained.coreset_size;
+  result.warm_started = trained.warm_started;
   for (std::size_t t = 0; t < num_tiles; ++t) {
     auto& members = result.members[tile_assignment[t]];
     members.insert(members.end(), tile_points[t].begin(),

@@ -30,8 +30,45 @@ namespace bd::core {
 struct ClusterAssignment {
   std::vector<std::vector<std::uint32_t>> members;
   std::size_t max_cluster_size = 0;
+  /// Full-set inertia under the final (balanced) assignment — comparable
+  /// between the legacy and the coreset-accelerated training paths.
   double inertia = 0.0;
   std::size_t kmeans_iterations = 0;
+  std::size_t coreset_size = 0;  ///< training points used (0 = stride path)
+  bool warm_started = false;     ///< centroids seeded from the cache
+};
+
+/// Cross-step centroid cache for warm-started clustering. Owned by the
+/// caller (PredictiveSolver persists it through save_state/load_state so
+/// checkpoint resume stays bit-identical); training updates it in place.
+struct ClusteringCache {
+  std::vector<double> centroids;  ///< clusters × dim, row-major
+  std::size_t dim = 0;
+  double inertia = 0.0;  ///< training (coreset-weighted) inertia at save
+  bool valid() const { return !centroids.empty() && dim > 0; }
+  void clear() {
+    centroids.clear();
+    dim = 0;
+    inertia = 0.0;
+  }
+};
+
+/// Acceleration for the centroid-training stage of RP-CLUSTERING: a D²
+/// importance-sampled weighted coreset replaces the stride subsample,
+/// Lloyd runs with triangle-inequality pruning, and (when a cache is
+/// supplied) the previous step's centroids seed the next step — skipping
+/// k-means++ entirely while patterns drift slowly. Off by default: the
+/// legacy stride-subsample path stays the bitwise reference.
+struct ClusteringAccel {
+  bool enabled = false;
+  /// D² coreset draws used for Lloyd training (0 = keep the full set).
+  std::size_t coreset_size = 512;
+  /// Warm-started training whose inertia exceeds the cached inertia by
+  /// this factor re-seeds with k-means++ on the same coreset (the
+  /// patterns drifted too far for the old centroids to be useful seeds).
+  double warm_inertia_growth = 1.5;
+  /// Optional cross-step centroid cache (nullptr = cold every call).
+  ClusteringCache* cache = nullptr;
 };
 
 /// Options for rp_clustering.
@@ -43,6 +80,7 @@ struct RpClusteringOptions {
   /// Relative weight of the spatial features (0 disables them; 1 makes
   /// coordinate variance comparable to total pattern variance).
   double spatial_weight = 0.75;
+  ClusteringAccel accel;  ///< coreset/pruned/warm-start training accel
 };
 
 /// Cluster grid points by access pattern (plus optional weighted
@@ -73,6 +111,7 @@ struct TiledClusteringOptions {
   /// several cells), so compact clusters turn pattern similarity into
   /// actual L1 sharing between co-resident warps.
   double spatial_weight = 1.0;
+  ClusteringAccel accel;  ///< coreset/pruned/warm-start training accel
 };
 ClusterAssignment rp_clustering_tiled(const PatternField& patterns,
                                       const beam::GridSpec& spec,

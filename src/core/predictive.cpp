@@ -53,12 +53,17 @@ PredictiveSolver::PredictiveSolver(simt::DeviceSpec device,
                    options_.observation_ema <= 1.0,
                "PredictiveOptions.observation_ema must be in (0, 1], got "
                    << options_.observation_ema);
+  BD_CHECK_MSG(options_.warm_inertia_growth >= 1.0,
+               "PredictiveOptions.warm_inertia_growth must be >= 1, got "
+                   << options_.warm_inertia_growth);
 }
 
 void PredictiveSolver::reset() {
   predictor_.reset();
   previous_partitions_.clear();
   smoothed_ = PatternField{};
+  cluster_cache_.clear();
+  warm_start_hits_ = 0;
 }
 
 namespace {
@@ -250,6 +255,11 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
       num_points / (device_.resident_warps_per_sm * device_.warp_size), 4,
       1024);
   const std::size_t m = options_.clusters ? options_.clusters : auto_m;
+  ClusteringAccel accel;
+  accel.enabled = options_.cluster_accel;
+  accel.coreset_size = options_.coreset_size;
+  accel.warm_inertia_growth = options_.warm_inertia_growth;
+  accel.cache = &cluster_cache_;
   ClusterAssignment clusters;
   if (options_.tiled) {
     TiledClusteringOptions tiled_options;
@@ -257,6 +267,7 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
     tiled_options.tile_w = options_.tile_w;
     tiled_options.tile_h = options_.tile_h;
     tiled_options.seed = options_.cluster_seed;
+    tiled_options.accel = accel;
     clusters = rp_clustering_tiled(predicted, spec, tiled_options);
   } else {
     std::vector<double> coord_x(num_points), coord_y(num_points);
@@ -268,8 +279,10 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
     cluster_options.balanced = options_.balanced_clusters;
     cluster_options.seed = options_.cluster_seed;
     cluster_options.spatial_weight = options_.spatial_weight;
+    cluster_options.accel = accel;
     clusters = rp_clustering(predicted, coord_x, coord_y, cluster_options);
   }
+  if (clusters.warm_started) ++warm_start_hits_;
 
   // MERGE-LISTS: a shared partition per warp (default) or per cluster.
   // Warp granularity keeps control flow lockstep exactly where SIMD
@@ -312,6 +325,10 @@ SolveResult PredictiveSolver::solve_predictive(const RpProblem& problem) {
   telemetry::gauge_set("predictive.cluster_inertia", clusters.inertia);
   telemetry::gauge_set("predictive.max_cluster_size",
                        static_cast<double>(clusters.max_cluster_size));
+  telemetry::gauge_set("predictive.coreset_size",
+                       static_cast<double>(clusters.coreset_size));
+  telemetry::gauge_set("predictive.warm_start_hits",
+                       static_cast<double>(warm_start_hits_));
 
   // (4) COMPUTE-RP-INTEGRAL with uniform per-warp/per-block control flow.
   RpKernelInput input;
@@ -378,6 +395,12 @@ void PredictiveSolver::save_state(util::BinaryWriter& out) const {
   out.write_u64(smoothed_.points());
   out.write_u64(smoothed_.subregions());
   out.write_f64_span(smoothed_.flat());
+  // Warm-start centroid cache: without it a restored solver would cluster
+  // cold on its first step and diverge bitwise from the uninterrupted run.
+  out.write_u64(cluster_cache_.dim);
+  out.write_f64(cluster_cache_.inertia);
+  out.write_f64_span(cluster_cache_.centroids);
+  out.write_u64(warm_start_hits_);
 }
 
 void PredictiveSolver::load_state(util::BinaryReader& in) {
@@ -396,6 +419,14 @@ void PredictiveSolver::load_state(util::BinaryReader& in) {
   const std::uint64_t subregions = in.read_u64();
   smoothed_ = PatternField(points, subregions);
   in.read_f64_into(smoothed_.flat());
+  cluster_cache_.dim = in.read_u64();
+  cluster_cache_.inertia = in.read_f64();
+  cluster_cache_.centroids = in.read_f64_vector();
+  BD_CHECK_MSG(cluster_cache_.dim == 0 ||
+                   (cluster_cache_.dim > 0 &&
+                    cluster_cache_.centroids.size() % cluster_cache_.dim == 0),
+               "corrupt clustering cache");
+  warm_start_hits_ = in.read_u64();
 }
 
 void PredictiveSolver::learn(const RpProblem& problem,

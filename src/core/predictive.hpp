@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/access_pattern.hpp"
+#include "core/clustering.hpp"
 #include "core/forecast.hpp"
 #include "core/solver.hpp"
 #include "ml/online.hpp"
@@ -58,6 +59,15 @@ struct PredictiveOptions {
   /// EMA factor blending new observations into the training targets
   /// (damps refine/coarsen oscillation; 1 = use raw observations).
   double observation_ema = 0.5;
+  /// Coreset/pruned-Lloyd/warm-start clustering acceleration (see
+  /// ClusteringAccel). The per-step host clustering cost is the fixed
+  /// overhead the paper's Table II prices at 2.9 ms/step; with the accel
+  /// it becomes sublinear in grid area. false = legacy stride-subsample
+  /// training (the bitwise reference, used by the ablation benches).
+  bool cluster_accel = true;
+  std::size_t coreset_size = 512;   ///< D² coreset draws (0 = full set)
+  /// Re-seed threshold for warm starts (see ClusteringAccel).
+  double warm_inertia_growth = 1.5;
 };
 
 class PredictiveSolver final : public RpSolver {
@@ -69,8 +79,9 @@ class PredictiveSolver final : public RpSolver {
   void reset() override;
 
   /// Checkpoint the learned state: the online predictor's training window,
-  /// the previous per-point partitions (adaptive transform) and the EMA of
-  /// observed patterns. A restored solver replays bit-identically.
+  /// the previous per-point partitions (adaptive transform), the EMA of
+  /// observed patterns and the warm-start centroid cache. A restored
+  /// solver replays bit-identically.
   void save_state(util::BinaryWriter& out) const override;
   void load_state(util::BinaryReader& in) override;
 
@@ -92,6 +103,11 @@ class PredictiveSolver final : public RpSolver {
   std::unique_ptr<ml::OnlinePredictor> predictor_;
   quad::PartitionSet previous_partitions_;  // adaptive transform
   PatternField smoothed_;  ///< EMA of observed patterns (training targets)
+  /// Previous step's trained centroids — warm-start seeds for the next
+  /// RP-CLUSTERING call (persisted in save_state/load_state so a restored
+  /// solver clusters bit-identically).
+  ClusteringCache cluster_cache_;
+  std::uint64_t warm_start_hits_ = 0;  ///< steps that reused cached seeds
 };
 
 }  // namespace bd::core

@@ -1,0 +1,141 @@
+#include "ml/coreset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/linalg.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace bd::ml {
+
+namespace {
+
+/// Fixed parallel grain: chunk boundaries must not depend on the thread
+/// count or the serial chunk-order reduction would change with it.
+constexpr std::size_t kChunk = 2048;
+
+std::span<const double> row_at(std::span<const double> points,
+                               std::size_t dim, std::size_t i) {
+  return points.subspan(i * dim, dim);
+}
+
+}  // namespace
+
+Coreset d2_coreset(std::span<const double> points, std::size_t count,
+                   std::size_t dim, const CoresetConfig& config) {
+  BD_CHECK(dim > 0);
+  BD_CHECK_MSG(points.size() == count * dim, "points size mismatch");
+  BD_CHECK(count > 0);
+
+  Coreset out;
+  if (config.target_size == 0 || count <= config.target_size) {
+    out.indices.resize(count);
+    std::iota(out.indices.begin(), out.indices.end(), 0u);
+    out.weights.assign(count, 1.0);
+    return out;
+  }
+
+  // Mean point: per-chunk partial sums, reduced serially in chunk order.
+  const std::size_t chunks = (count + kChunk - 1) / kChunk;
+  std::vector<double> partial(chunks * dim, 0.0);
+  util::parallel_for_chunked(0, count, kChunk,
+                             [&](std::size_t lo, std::size_t hi) {
+    double* acc = partial.data() + (lo / kChunk) * dim;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto p = row_at(points, dim, i);
+      for (std::size_t d = 0; d < dim; ++d) acc[d] += p[d];
+    }
+  });
+  std::vector<double> mean(dim, 0.0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t d = 0; d < dim; ++d) mean[d] += partial[c * dim + d];
+  }
+  for (double& m : mean) m /= static_cast<double>(count);
+
+  // D² of every point to the mean (disjoint writes, any thread count).
+  std::vector<double> d2(count);
+  util::parallel_for(0, count, [&](std::size_t i) {
+    d2[i] = squared_distance(row_at(points, dim, i), mean);
+  });
+  double total_d2 = 0.0;
+  for (std::size_t i = 0; i < count; ++i) total_d2 += d2[i];
+
+  // q_i = 1/(2n) + d²_i / (2·Σd²): the D² term concentrates draws on the
+  // points that dominate the objective, the uniform term keeps every
+  // region sampleable (and is the whole distribution when the data is
+  // degenerate, Σd² = 0).
+  const double uniform = 0.5 / static_cast<double>(count);
+  std::vector<double> q(count);
+  std::vector<double> prefix(count);
+  double run = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    q[i] = total_d2 > 0.0 ? uniform + 0.5 * d2[i] / total_d2 : 2.0 * uniform;
+    run += q[i];
+    prefix[i] = run;
+  }
+
+  // m draws with replacement via prefix-sum binary search; duplicates
+  // compact into one index with summed weight. Each draw carries weight
+  // 1/(m·q) so Σ weights estimates n.
+  const std::size_t draws = std::max(config.target_size, std::size_t{1});
+  util::Rng rng(config.seed);
+  std::vector<std::uint32_t> sampled;
+  sampled.reserve(draws);
+  for (std::size_t s = 0; s < draws; ++s) {
+    const double target = rng.uniform() * run;
+    std::size_t idx = static_cast<std::size_t>(
+        std::lower_bound(prefix.begin(), prefix.end(), target) -
+        prefix.begin());
+    if (idx >= count) idx = count - 1;
+    sampled.push_back(static_cast<std::uint32_t>(idx));
+  }
+  std::sort(sampled.begin(), sampled.end());
+  const double scale = 1.0 / static_cast<double>(draws);
+  for (std::size_t s = 0; s < sampled.size();) {
+    std::size_t e = s;
+    while (e < sampled.size() && sampled[e] == sampled[s]) ++e;
+    out.indices.push_back(sampled[s]);
+    out.weights.push_back(static_cast<double>(e - s) * scale / q[sampled[s]]);
+    s = e;
+  }
+
+  // Top up with the lowest unsampled indices when the caller needs more
+  // distinct points than the draws produced (k close to target_size).
+  if (out.size() < config.min_size) {
+    std::vector<std::uint32_t> extra;
+    std::size_t cursor = 0;
+    for (std::uint32_t i = 0; i < count && out.size() + extra.size() <
+                                               config.min_size; ++i) {
+      while (cursor < out.indices.size() && out.indices[cursor] < i) ++cursor;
+      if (cursor < out.indices.size() && out.indices[cursor] == i) continue;
+      extra.push_back(i);
+    }
+    for (std::uint32_t i : extra) {
+      const auto at = std::lower_bound(out.indices.begin(), out.indices.end(),
+                                       i);
+      const std::size_t pos =
+          static_cast<std::size_t>(at - out.indices.begin());
+      out.indices.insert(at, i);
+      out.weights.insert(out.weights.begin() +
+                             static_cast<std::ptrdiff_t>(pos), 1.0);
+    }
+  }
+  return out;
+}
+
+std::vector<double> gather_rows(std::span<const double> points,
+                                std::size_t dim,
+                                std::span<const std::uint32_t> indices) {
+  BD_CHECK(dim > 0 && points.size() % dim == 0);
+  std::vector<double> rows;
+  rows.reserve(indices.size() * dim);
+  for (const std::uint32_t i : indices) {
+    const auto p = row_at(points, dim, i);
+    rows.insert(rows.end(), p.begin(), p.end());
+  }
+  return rows;
+}
+
+}  // namespace bd::ml

@@ -1,0 +1,59 @@
+#pragma once
+/// \file coreset.hpp
+/// D²-weighted coresets for k-means (the RP-CLUSTERING accelerator).
+///
+/// Lloyd iterations cost O(n·k·d); RP-CLUSTERING pays that every step on a
+/// point set whose size scales with grid area. A *coreset* is a small
+/// weighted subsample on which the weighted k-means objective estimates
+/// the full-set objective, so Lloyd runs on m ≪ n points without changing
+/// what it optimizes. We use D² importance sampling against the global
+/// mean (the "lightweight coreset" construction): points far from the
+/// mean — the ones that dominate the objective — are sampled with
+/// probability proportional to their squared distance, and every sampled
+/// point carries weight 1/(m·q) so the estimate stays unbiased. A uniform
+/// mixture term keeps dense regions represented even when a few outliers
+/// hold most of the variance.
+///
+/// Sampling is deterministic for a fixed seed and bit-identical at any
+/// BD_NUM_THREADS: the mean and the per-point D² terms are computed on the
+/// thread pool with fixed-size chunks reduced serially in chunk order, and
+/// the draws themselves walk a serial prefix-sum binary search.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bd::ml {
+
+/// Coreset sampling parameters.
+struct CoresetConfig {
+  std::size_t target_size = 512;  ///< sample draws (0 = keep the full set)
+  std::size_t min_size = 0;       ///< top up to at least this many distinct
+                                  ///< points (needed when k is close to m)
+  std::uint64_t seed = 9001;
+};
+
+/// A weighted coreset: distinct sampled point indices (ascending) and one
+/// importance weight per index. Σ weights ≈ n, so weighted inertia on the
+/// coreset is an estimate of full-set inertia at the same scale.
+struct Coreset {
+  std::vector<std::uint32_t> indices;
+  std::vector<double> weights;
+  std::size_t size() const { return indices.size(); }
+};
+
+/// Sample a D² coreset of `config.target_size` draws from `count` points
+/// of dimension `dim` (row-major in `points`). Duplicate draws are
+/// compacted into one index with summed weight. When `count` is already
+/// within the target (or the target is 0) the full set is returned with
+/// unit weights.
+Coreset d2_coreset(std::span<const double> points, std::size_t count,
+                   std::size_t dim, const CoresetConfig& config);
+
+/// Gather the selected rows of `points` into a dense row-major matrix
+/// (the coreset's feature matrix for k-means).
+std::vector<double> gather_rows(std::span<const double> points,
+                                std::size_t dim,
+                                std::span<const std::uint32_t> indices);
+
+}  // namespace bd::ml

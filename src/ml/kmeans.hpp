@@ -5,6 +5,23 @@
 /// The paper notes k-means "prefers clusters of approximately similar size";
 /// a balanced assignment option enforces a hard per-cluster capacity so
 /// clusters map cleanly onto fixed-size thread blocks.
+///
+/// Two Lloyd engines sit behind the same entry points:
+///  * the **exact** engine (default) scans all k centroids per point per
+///    iteration — the bitwise reference;
+///  * the **pruned** engine (`KMeansConfig::pruned`) keeps Hamerly-style
+///    upper/lower distance bounds per point, updated by per-iteration
+///    centroid drift, and skips the k-centroid scan whenever the bounds
+///    prove the nearest centroid cannot have changed. Bounds are rounded
+///    conservatively outward, so the pruned engine produces bit-identical
+///    assignments, centroids, inertia and iteration counts to the exact
+///    engine (tests/test_kmeans.cpp locks this in across seeds and dims) —
+///    it only skips arithmetic whose outcome is already decided.
+///
+/// `kmeans_weighted` additionally accepts per-point weights (so a D²
+/// coreset optimizes the same objective as the full set — see
+/// ml/coreset.hpp) and warm-start centroids (skipping k-means++, the
+/// cross-step accelerator used by RP-CLUSTERING).
 
 #include <cstdint>
 #include <span>
@@ -20,6 +37,7 @@ struct KMeansConfig {
   std::size_t max_iterations = 25;
   double tolerance = 1e-6;       ///< relative inertia improvement to stop
   bool balanced = false;         ///< enforce ceil(n/k) capacity per cluster
+  bool pruned = false;           ///< triangle-inequality-pruned Lloyd engine
   std::uint64_t seed = 1234;
 };
 
@@ -28,15 +46,29 @@ struct KMeansResult {
   std::vector<std::uint32_t> assignment;  ///< point -> cluster
   std::vector<double> centroids;          ///< clusters x dim, row-major
   std::vector<std::uint32_t> sizes;       ///< points per cluster
-  double inertia = 0.0;                   ///< sum of squared distances
+  double inertia = 0.0;                   ///< (weighted) sum of squared dists
   std::size_t iterations = 0;
 };
 
 /// Cluster `count` points of dimension `dim` (row-major in `points`).
 /// Deterministic for a fixed seed. Empty clusters are re-seeded from the
-/// farthest point. Requires count >= clusters >= 1.
+/// farthest points (distinct per empty cluster). Requires
+/// count >= clusters >= 1.
 KMeansResult kmeans(std::span<const double> points, std::size_t count,
                     std::size_t dim, const KMeansConfig& config);
+
+/// Weighted k-means with optional warm-start seeds. `weights` (empty =
+/// unit weights, else one positive weight per point) scale each point's
+/// contribution to the objective and the centroid update, so a weighted
+/// coreset optimizes the full-set objective. `initial_centroids` (empty =
+/// k-means++ seeding, else clusters × dim row-major) start Lloyd from the
+/// given centroids without spending any RNG draws — the warm-start path.
+/// Balanced mode supports neither weights nor pruning.
+KMeansResult kmeans_weighted(std::span<const double> points,
+                             std::size_t count, std::size_t dim,
+                             std::span<const double> weights,
+                             std::span<const double> initial_centroids,
+                             const KMeansConfig& config);
 
 /// Group point indices by cluster (cluster id -> member list), preserving
 /// point order within each cluster.

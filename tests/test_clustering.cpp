@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "core/clustering.hpp"
+#include "ml/coreset.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace bd::core {
 namespace {
@@ -171,6 +175,179 @@ TEST(Clustering, ValidatesArguments) {
   PatternField empty;
   RpClusteringOptions options;
   EXPECT_THROW(rp_clustering(empty, {}, {}, options), bd::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// D² coresets
+// ---------------------------------------------------------------------------
+
+/// Synthetic feature matrix: smooth gradient plus a hot corner (the few
+/// high-variance rows a D² sampler must concentrate on).
+std::vector<double> gradient_features(std::size_t n, std::size_t dim) {
+  std::vector<double> features(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = static_cast<double>(i) / static_cast<double>(n);
+    for (std::size_t d = 0; d < dim; ++d) {
+      features[i * dim + d] = base + (i > n - n / 16 ? 50.0 : 0.0);
+    }
+  }
+  return features;
+}
+
+TEST(Coreset, SmallInputsPassThrough) {
+  const std::vector<double> features = gradient_features(100, 3);
+  ml::CoresetConfig config;
+  config.target_size = 256;
+  const ml::Coreset c = ml::d2_coreset(features, 100, 3, config);
+  EXPECT_EQ(c.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.indices[i], i);
+    EXPECT_EQ(c.weights[i], 1.0);
+  }
+}
+
+TEST(Coreset, WeightsEstimateTheFullSetScale) {
+  const std::size_t n = 8192;
+  const std::vector<double> features = gradient_features(n, 4);
+  ml::CoresetConfig config;
+  config.target_size = 512;
+  const ml::Coreset c = ml::d2_coreset(features, n, 4, config);
+  EXPECT_LE(c.size(), 512u);
+  EXPECT_GE(c.size(), 32u);
+  // Indices are distinct and ascending; weights are positive and sum to
+  // roughly n (the unbiased-estimate property the weighted objective
+  // relies on).
+  double total = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GT(c.indices[i], c.indices[i - 1]);
+    }
+    EXPECT_GT(c.weights[i], 0.0);
+    total += c.weights[i];
+  }
+  EXPECT_GT(total, 0.5 * static_cast<double>(n));
+  EXPECT_LT(total, 2.0 * static_cast<double>(n));
+}
+
+TEST(Coreset, MinSizeTopsUpDistinctIndices) {
+  const std::size_t n = 4096;
+  const std::vector<double> features = gradient_features(n, 2);
+  ml::CoresetConfig config;
+  config.target_size = 8;  // few draws, heavy duplication expected
+  config.min_size = 16;
+  const ml::Coreset c = ml::d2_coreset(features, n, 2, config);
+  EXPECT_GE(c.size(), 16u);
+  std::set<std::uint32_t> distinct(c.indices.begin(), c.indices.end());
+  EXPECT_EQ(distinct.size(), c.size());
+}
+
+TEST(Coreset, DeterministicAcrossThreadCounts) {
+  const std::size_t n = 10000;
+  const std::vector<double> features = gradient_features(n, 5);
+  ml::CoresetConfig config;
+  config.target_size = 300;
+
+  util::ThreadPool::set_global_threads(1);
+  const ml::Coreset serial = ml::d2_coreset(features, n, 5, config);
+  util::ThreadPool::set_global_threads(8);
+  const ml::Coreset parallel = ml::d2_coreset(features, n, 5, config);
+  util::ThreadPool::set_global_threads(0);
+
+  EXPECT_EQ(serial.indices, parallel.indices);
+  EXPECT_EQ(serial.weights, parallel.weights);  // bitwise
+}
+
+// ---------------------------------------------------------------------------
+// Coreset-accelerated / warm-started clustering
+// ---------------------------------------------------------------------------
+
+/// Pattern field with a smooth radial cost structure plus noise — large
+/// enough that the accelerated path actually subsamples.
+PatternField radial_patterns(std::size_t nx, std::size_t ny,
+                             std::uint64_t seed, double drift = 0.0) {
+  util::Rng rng(seed);
+  PatternField field(nx * ny, 3);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double cx = static_cast<double>(ix) / static_cast<double>(nx) -
+                        0.5 + drift;
+      const double cy =
+          static_cast<double>(iy) / static_cast<double>(ny) - 0.5;
+      const double r = std::sqrt(cx * cx + cy * cy);
+      auto p = field.at(iy * nx + ix);
+      p[0] = 4.0 + 28.0 * std::exp(-8.0 * r * r) + rng.uniform();
+      p[1] = 2.0 + 10.0 * r + rng.uniform();
+      p[2] = 1.0 + p[0] * 0.25;
+    }
+  }
+  return field;
+}
+
+TEST(ClusteringAccel, InertiaWithinBoundOfFullTraining) {
+  // The coreset path trains on ~512 weighted samples instead of the full
+  // stride subsample; the full-set inertia of its final assignment must
+  // stay within a modest factor of the reference path's.
+  const PatternField patterns = radial_patterns(96, 96, 11);
+  RpClusteringOptions reference;
+  reference.clusters = 16;
+  reference.spatial_weight = 0.0;
+  reference.train_subsample = 96 * 96;  // full-set Lloyd reference
+  const ClusterAssignment base = rp_clustering(patterns, {}, {}, reference);
+  EXPECT_EQ(base.coreset_size, 0u);
+
+  RpClusteringOptions accel = reference;
+  accel.accel.enabled = true;
+  accel.accel.coreset_size = 512;
+  const ClusterAssignment fast = rp_clustering(patterns, {}, {}, accel);
+  EXPECT_GT(fast.coreset_size, 0u);
+  EXPECT_LE(fast.coreset_size, 512u);
+  EXPECT_GT(base.inertia, 0.0);
+  EXPECT_LE(fast.inertia, base.inertia * 1.25)
+      << "coreset-trained clustering lost too much quality";
+}
+
+TEST(ClusteringAccel, WarmStartReusesCachedCentroids) {
+  const beam::GridSpec spec = beam::make_centered_grid(64, 64, 1.0, 1.0);
+  ClusteringCache cache;
+  TiledClusteringOptions options;
+  options.clusters = 8;
+  options.accel.enabled = true;
+  options.accel.coreset_size = 256;
+  options.accel.cache = &cache;
+
+  const PatternField step0 = radial_patterns(64, 64, 21);
+  const ClusterAssignment first = rp_clustering_tiled(step0, spec, options);
+  EXPECT_FALSE(first.warm_started);  // cold cache
+  EXPECT_TRUE(cache.valid());
+
+  // Slightly drifted patterns: the cached centroids are good seeds.
+  const PatternField step1 = radial_patterns(64, 64, 21, 0.01);
+  const ClusterAssignment second = rp_clustering_tiled(step1, spec, options);
+  EXPECT_TRUE(second.warm_started);
+
+  // A cache of the wrong shape is ignored, not misused.
+  cache.dim = cache.dim + 1;
+  const ClusterAssignment third = rp_clustering_tiled(step1, spec, options);
+  EXPECT_FALSE(third.warm_started);
+}
+
+TEST(ClusteringAccel, DeterministicAcrossThreadCounts) {
+  const PatternField patterns = radial_patterns(64, 64, 31);
+  RpClusteringOptions options;
+  options.clusters = 8;
+  options.spatial_weight = 0.0;
+  options.accel.enabled = true;
+  options.accel.coreset_size = 256;
+
+  util::ThreadPool::set_global_threads(1);
+  const ClusterAssignment serial = rp_clustering(patterns, {}, {}, options);
+  util::ThreadPool::set_global_threads(8);
+  const ClusterAssignment parallel = rp_clustering(patterns, {}, {}, options);
+  util::ThreadPool::set_global_threads(0);
+
+  EXPECT_EQ(serial.members, parallel.members);
+  EXPECT_EQ(serial.inertia, parallel.inertia);  // bitwise
+  EXPECT_EQ(serial.kmeans_iterations, parallel.kmeans_iterations);
 }
 
 }  // namespace

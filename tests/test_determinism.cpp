@@ -21,6 +21,7 @@
 #include "simt/warp.hpp"
 #include "test_helpers.hpp"
 #include "util/parallel.hpp"
+#include "util/serialize.hpp"
 #include "util/simd.hpp"
 #include "util/telemetry.hpp"
 
@@ -215,6 +216,41 @@ TEST(Determinism, CheckpointRoundTripBitwiseIdentical) {
       ASSERT_EQ(a.observed.flat()[i], b.observed.flat()[i])
           << "step " << k << " entry " << i;
     }
+  }
+}
+
+TEST(Determinism, WarmStartCacheSurvivesSolverStateRoundTrip) {
+  // The warm-start centroid cache is part of the predictive solver's
+  // learned state: a solver restored from save_state must cluster the
+  // next step from the same cached seeds and produce bit-identical
+  // physics. Without the cache in the payload the restored solver would
+  // re-seed k-means++ cold and silently diverge.
+  testing::ProblemFixture& fixture = shared_fixture();
+  reset_history(fixture);
+  core::PredictiveSolver solver(simt::tesla_k40(), {});
+  for (int step = 0; step < 3; ++step) {
+    solver.solve(fixture.problem);
+    fixture.advance();
+  }
+
+  util::BinaryWriter snapshot;
+  solver.save_state(snapshot);
+
+  core::PredictiveSolver restored(simt::tesla_k40(), {});
+  util::BinaryReader in(snapshot.payload());
+  restored.load_state(in);
+  EXPECT_TRUE(in.done());
+
+  // Cross-object restore promises identical physics (cache *metrics* are
+  // address-sensitive; the in-place variant above covers those).
+  const core::SolveResult a = solver.solve(fixture.problem);
+  const core::SolveResult b = restored.solve(fixture.problem);
+  EXPECT_EQ(a.fallback_items, b.fallback_items);
+  EXPECT_EQ(a.kernel_intervals, b.kernel_intervals);
+  ASSERT_EQ(a.values.data().size(), b.values.data().size());
+  for (std::size_t i = 0; i < a.values.data().size(); ++i) {
+    ASSERT_EQ(a.values.data()[i], b.values.data()[i]) << "node " << i;
+    ASSERT_EQ(a.errors.data()[i], b.errors.data()[i]) << "node " << i;
   }
 }
 

@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
 #include "ml/kmeans.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace bd::ml {
 namespace {
@@ -154,6 +156,183 @@ TEST(AssignBalanced, ImpossibleCapacityThrows) {
   const std::vector<double> pts{0.0, 1.0, 2.0};
   const std::vector<double> centroids{0.0};
   EXPECT_THROW(assign_balanced(pts, 3, 1, centroids, 1, 2), bd::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Pruned Lloyd engine (triangle-inequality bounds)
+// ---------------------------------------------------------------------------
+
+/// Mixed data: blobs plus uniform background, the shape that exercises
+/// both heavy pruning (stable interior points) and bound invalidation
+/// (points near cluster boundaries).
+std::vector<double> mixed_points(std::size_t n, std::size_t dim,
+                                 util::Rng& rng) {
+  std::vector<double> pts(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double offset = (i % 3) * 4.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      pts[i * dim + d] = (i % 7 == 0) ? rng.uniform() * 12.0
+                                      : offset + rng.normal(0.0, 0.8);
+    }
+  }
+  return pts;
+}
+
+TEST(KMeansPruned, BitwiseIdenticalToExact) {
+  // The pruned engine must be indistinguishable from the exact engine —
+  // not approximately: bit-for-bit, across seeds, dimensions and cluster
+  // counts, including iteration counts (same convergence decisions).
+  for (std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    for (std::size_t dim : {1u, 2u, 5u}) {
+      for (std::size_t k : {1u, 3u, 8u}) {
+        util::Rng rng(seed * 131 + dim);
+        const std::size_t n = 300;
+        const std::vector<double> pts = mixed_points(n, dim, rng);
+        KMeansConfig exact;
+        exact.clusters = k;
+        exact.seed = seed;
+        exact.max_iterations = 20;
+        KMeansConfig pruned = exact;
+        pruned.pruned = true;
+        const KMeansResult a = kmeans(pts, n, dim, exact);
+        const KMeansResult b = kmeans(pts, n, dim, pruned);
+        const auto ctx = [&] {
+          return ::testing::Message()
+                 << "seed=" << seed << " dim=" << dim << " k=" << k;
+        };
+        EXPECT_EQ(a.assignment, b.assignment) << ctx();
+        EXPECT_EQ(a.centroids, b.centroids) << ctx();
+        EXPECT_EQ(a.sizes, b.sizes) << ctx();
+        EXPECT_EQ(a.inertia, b.inertia) << ctx();
+        EXPECT_EQ(a.iterations, b.iterations) << ctx();
+      }
+    }
+  }
+}
+
+TEST(KMeansPruned, ActuallyPrunesAndCountsDistances) {
+  util::Rng rng(3);
+  const std::size_t n = 600;
+  const std::vector<double> pts = mixed_points(n, 2, rng);
+  util::telemetry::MetricsRegistry local;
+  std::uint64_t pruned_d = 0;
+  std::uint64_t full_d = 0;
+  {
+    util::telemetry::TelemetryScope scope(&local, nullptr);
+    KMeansConfig config;
+    config.clusters = 6;
+    config.pruned = true;
+    config.max_iterations = 25;
+    kmeans(pts, n, 2, config);
+    const auto snap = local.snapshot();
+    pruned_d = snap.counters.at("kmeans.pruned_distances");
+    full_d = snap.counters.at("kmeans.full_distances");
+  }
+  // Separated blobs converge with most interior points pruned after the
+  // first pass; both counters must be live.
+  EXPECT_GT(pruned_d, 0u);
+  EXPECT_GT(full_d, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted k-means
+// ---------------------------------------------------------------------------
+
+TEST(KMeansWeighted, WeightsPullTheCentroid) {
+  // One cluster, two points: the centroid is the weighted mean.
+  const std::vector<double> pts{0.0, 10.0};
+  const std::vector<double> weights{1.0, 9.0};
+  const std::vector<double> init{5.0};
+  KMeansConfig config;
+  config.clusters = 1;
+  const KMeansResult r = kmeans_weighted(pts, 2, 1, weights, init, config);
+  EXPECT_DOUBLE_EQ(r.centroids[0], 9.0);
+}
+
+TEST(KMeansWeighted, UniformWeightsMatchUnweighted) {
+  util::Rng rng(17);
+  const std::size_t n = 120;
+  const std::vector<double> pts = mixed_points(n, 2, rng);
+  const std::vector<double> init{0.0, 0.0, 4.0, 4.0, 8.0, 8.0};
+  KMeansConfig config;
+  config.clusters = 3;
+  const KMeansResult plain = kmeans_weighted(pts, n, 2, {}, init, config);
+  const std::vector<double> weights(n, 3.0);
+  const KMeansResult scaled = kmeans_weighted(pts, n, 2, weights, init, config);
+  // Constant weights cancel out of the centroid update; the objective is
+  // scaled by the constant.
+  EXPECT_EQ(plain.assignment, scaled.assignment);
+  for (std::size_t i = 0; i < plain.centroids.size(); ++i) {
+    EXPECT_NEAR(plain.centroids[i], scaled.centroids[i], 1e-9) << i;
+  }
+  EXPECT_NEAR(scaled.inertia, 3.0 * plain.inertia,
+              1e-9 * (1.0 + plain.inertia));
+}
+
+TEST(KMeansWeighted, WarmStartSkipsSeeding) {
+  // Warm-started runs must not consume RNG draws: two different seeds with
+  // the same initial centroids produce identical results.
+  util::Rng rng(23);
+  const std::size_t n = 90;
+  const std::vector<double> pts = mixed_points(n, 2, rng);
+  const std::vector<double> init{0.0, 0.0, 4.0, 4.0};
+  KMeansConfig a;
+  a.clusters = 2;
+  a.seed = 1;
+  KMeansConfig b = a;
+  b.seed = 999;
+  const KMeansResult ra = kmeans_weighted(pts, n, 2, {}, init, a);
+  const KMeansResult rb = kmeans_weighted(pts, n, 2, {}, init, b);
+  EXPECT_EQ(ra.assignment, rb.assignment);
+  EXPECT_EQ(ra.centroids, rb.centroids);
+  EXPECT_EQ(ra.inertia, rb.inertia);
+}
+
+TEST(KMeansWeighted, ValidatesArguments) {
+  const std::vector<double> pts{0.0, 1.0, 2.0, 3.0};
+  KMeansConfig config;
+  config.clusters = 2;
+  // Wrong weight count.
+  EXPECT_THROW(kmeans_weighted(pts, 4, 1, std::vector<double>{1.0}, {},
+                               config),
+               bd::CheckError);
+  // Non-positive weight.
+  EXPECT_THROW(kmeans_weighted(pts, 4, 1,
+                               std::vector<double>{1.0, 1.0, 0.0, 1.0}, {},
+                               config),
+               bd::CheckError);
+  // Wrong warm-start shape.
+  EXPECT_THROW(kmeans_weighted(pts, 4, 1, {}, std::vector<double>{1.0},
+                               config),
+               bd::CheckError);
+  // Balanced mode rejects weights and pruning.
+  KMeansConfig balanced = config;
+  balanced.balanced = true;
+  EXPECT_THROW(kmeans_weighted(pts, 4, 1,
+                               std::vector<double>{1.0, 1.0, 1.0, 1.0}, {},
+                               balanced),
+               bd::CheckError);
+  balanced.pruned = true;
+  EXPECT_THROW(kmeans_weighted(pts, 4, 1, {}, {}, balanced), bd::CheckError);
+}
+
+TEST(KMeans, EmptyClusterReseedPicksDistinctPoints) {
+  // Seed three centroids far from every point: all points go to centroid
+  // 0, clusters 1-3 come up empty and must re-seed from three *distinct*
+  // farthest points (the old code could hand two empties the same point).
+  std::vector<double> pts;
+  for (int i = 0; i < 8; ++i) pts.push_back(static_cast<double>(i));
+  const std::vector<double> init{3.5, 1000.0, 2000.0, 3000.0};
+  KMeansConfig config;
+  config.clusters = 4;
+  config.max_iterations = 1;
+  const KMeansResult r = kmeans_weighted(pts, 8, 1, {}, init, config);
+  const std::set<double> reseeded{r.centroids[1], r.centroids[2],
+                                  r.centroids[3]};
+  EXPECT_EQ(reseeded.size(), 3u);
+  for (const double c : reseeded) {
+    EXPECT_NE(std::find(pts.begin(), pts.end(), c), pts.end()) << c;
+  }
 }
 
 }  // namespace

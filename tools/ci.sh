@@ -30,7 +30,11 @@
 # the gate catches real regressions: > 2% more integrand evaluations than
 # the baseline, a solver saving < 25% vs the naive engine, or the scratch
 # arena allocating after warm-up on the rigid steady-state workload.
-# It also runs bench_fleet against tools/perf_baseline_fleet.json (the
+# It also runs bench_clustering against
+# tools/perf_baseline_clustering.json (identical-or-better solver
+# fallback counts always; the >= 5x clustering speedup floor and the
+# accel/reference inertia-ratio ceiling at 128^2/256^2),
+# bench_fleet against tools/perf_baseline_fleet.json (the
 # fleet-vs-solo digest gate always applies; the aggregate speedup floor
 # only engages on machines with enough hardware threads), bench_simd
 # against tools/perf_baseline_simd.json (batched-vs-scalar bitwise
@@ -57,8 +61,9 @@ tsan() {
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)" --target \
     test_parallel test_determinism test_executor test_rp_kernels \
-    test_solvers test_deposit test_kmeans test_telemetry test_checkpoint \
-    test_fleet test_eval_engine test_health test_simulation test_wake
+    test_solvers test_deposit test_kmeans test_clustering test_telemetry \
+    test_checkpoint test_fleet test_eval_engine test_health test_simulation \
+    test_wake
   ctest --preset tsan -j 1
 }
 
@@ -103,6 +108,10 @@ perf_smoke() {
   ./build/bench/bench_rp_eval \
     --json=BENCH_rp_eval.json \
     --check-baseline=tools/perf_baseline_rp_eval.json
+  cmake --build --preset default -j "$(nproc)" --target bench_clustering
+  ./build/bench/bench_clustering \
+    --json=BENCH_clustering.json \
+    --check-baseline=tools/perf_baseline_clustering.json
   cmake --build --preset default -j "$(nproc)" --target bench_fleet
   ./build/bench/bench_fleet \
     --json=BENCH_fleet.json \
